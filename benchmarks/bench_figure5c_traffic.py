@@ -1,0 +1,25 @@
+"""E3 — Figure 5c: k-means main-memory reads / on-chip storage per IR form.
+
+This is an exact (combinatorial) reproduction: the measured counts must equal
+the paper's closed-form expressions evaluated at the same sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.figure5c import run_figure5c
+
+
+def test_figure5c_traffic_table(benchmark):
+    report = benchmark(run_figure5c)
+    print("\n" + report.table())
+    assert report.all_match, "measured traffic must match the paper's Figure 5c formulas"
+
+
+def test_figure5c_other_tile_sizes(benchmark):
+    report = benchmark(
+        run_figure5c, sizes={"n": 8192, "k": 32, "d": 8}, tiles={"n": 128, "k": 8}
+    )
+    print("\n" + report.table())
+    assert report.all_match

@@ -1,0 +1,44 @@
+"""E7 — Table 5: the benchmark suite and the collection ops each uses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import all_benchmarks
+from repro.ppl.interp import run_program
+
+TABLE5 = {
+    "outerprod": ("Vector outer product", ("map",)),
+    "sumrows": ("Matrix summation through rows", ("map", "reduce")),
+    "gemm": ("Matrix multiplication", ("map", "reduce")),
+    "tpchq6": ("TPC-H Query 6", ("filter", "reduce")),
+    "gda": ("Gaussian discriminant analysis", ("map", "filter", "reduce")),
+    "kmeans": ("k-means clustering", ("map", "groupBy", "reduce")),
+}
+
+
+def _run_suite():
+    outputs = {}
+    rng = np.random.default_rng(0)
+    for bench in all_benchmarks():
+        bindings = bench.bindings(rng=rng)
+        outputs[bench.name] = (
+            run_program(bench.build(), bindings),
+            bench.reference(bindings),
+        )
+    return outputs
+
+
+def test_table5_suite(benchmark):
+    outputs = benchmark(_run_suite)
+
+    names = [bench.name for bench in all_benchmarks()]
+    assert names == list(TABLE5)
+    for bench in all_benchmarks():
+        assert bench.collection_ops == TABLE5[bench.name][1]
+        result, expected = outputs[bench.name]
+        np.testing.assert_allclose(
+            np.asarray(result, dtype=float), np.asarray(expected, dtype=float), rtol=1e-9
+        )
+    print("\n[Table 5] all six benchmarks build, run and match their references")

@@ -1,0 +1,43 @@
+"""Reproduce Figure 7: speedups and resource usage across the six benchmarks.
+
+Run with:  python examples/figure7.py            (full paper-scale workloads)
+       or  python examples/figure7.py --quick    (smaller workloads, ~30 s)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.evaluation.figure7 import run_figure7
+
+QUICK_SIZES = {
+    "outerprod": {"m": 4096, "n": 4096},
+    "sumrows": {"m": 16384, "n": 256},
+    "gemm": {"m": 512, "n": 512, "p": 512},
+    "tpchq6": {"n": 1 << 20},
+    "gda": {"n": 16384, "d": 32},
+    "kmeans": {"n": 32768, "k": 32, "d": 32},
+}
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    report = run_figure7(sizes_override=QUICK_SIZES if quick else None)
+
+    print("=== Figure 7 (top): speedup over the baseline design ===")
+    print(report.speedup_table())
+    print()
+    print("=== Figure 7 (bottom): resource use relative to the baseline ===")
+    print(report.resource_table())
+    print()
+    for result in report.results:
+        base = result.baseline.simulation
+        meta = result.metapipelining.simulation
+        print(
+            f"{result.name:<10} baseline {base.milliseconds:9.2f} ms ({base.bound}-bound)"
+            f"  ->  optimised {meta.milliseconds:9.2f} ms ({meta.bound}-bound)"
+        )
+
+
+if __name__ == "__main__":
+    main()

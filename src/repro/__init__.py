@@ -1,0 +1,26 @@
+"""repro — a reproduction of "Generating Configurable Hardware from Parallel Patterns".
+
+The package implements the full compiler flow described in the paper:
+
+* :mod:`repro.ppl` — the parallel pattern IR (Figure 2), its interpreter and
+  pretty printer.
+* :mod:`repro.frontend` — a Scala-collections-like staging front end
+  (Figure 3 style programs).
+* :mod:`repro.transforms` — fusion, CSE, code motion, strip mining (Table 1/2)
+  and pattern interchange (Table 3).
+* :mod:`repro.analysis` — access patterns, memory allocation, metapipeline
+  scheduling, memory-traffic and area models.
+* :mod:`repro.hw` — the hardware template library of Table 4 and the
+  IR→template generator.
+* :mod:`repro.codegen` — MaxJ-like HGL emission and design reports.
+* :mod:`repro.sim` — the transaction-level performance simulator standing in
+  for the Maxeler toolchain + Stratix V board.
+* :mod:`repro.apps` — the six benchmarks of Table 5.
+* :mod:`repro.evaluation` — the harness regenerating Figure 7 and Figure 5c.
+"""
+
+from repro.ppl.program import Program
+
+__version__ = "0.1.0"
+
+__all__ = ["Program", "__version__"]

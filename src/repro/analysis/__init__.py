@@ -1,0 +1,32 @@
+"""Static analyses over the PPL IR.
+
+* :mod:`repro.analysis.access` — linear-form extraction and affine / non-affine
+  classification of array accesses (used by tile-copy insertion and by memory
+  allocation to decide between buffers and caches).
+* :mod:`repro.analysis.memory` — on-chip memory allocation (Section 5,
+  "Memory Allocation").
+* :mod:`repro.analysis.metapipeline` — metapipeline stage scheduling
+  (Section 5, "Metapipelining").
+* :mod:`repro.analysis.traffic` — analytical main-memory / on-chip storage
+  model reproducing Figure 5c.
+* :mod:`repro.analysis.area` — FPGA resource model (logic / FF / BRAM)
+  reproducing the resource half of Figure 7.
+"""
+
+from repro.analysis.access import (
+    AccessClass,
+    AccessInfo,
+    LinearForm,
+    classify_access,
+    collect_accesses,
+    linear_form,
+)
+
+__all__ = [
+    "AccessClass",
+    "AccessInfo",
+    "LinearForm",
+    "classify_access",
+    "collect_accesses",
+    "linear_form",
+]

@@ -1,0 +1,216 @@
+"""Array access pattern analysis.
+
+The paper's tiling and memory-allocation decisions hinge on classifying each
+array access:
+
+* **affine** accesses — linear combinations of loop indices and compile-time
+  sizes — can be covered by tile copies (strip mining, Section 4) and served
+  from on-chip buffers;
+* **non-affine** accesses — data-dependent indices such as
+  ``sums(minDistIndex, j)`` in k-means or the bucket select of a GroupByFold —
+  are served by caches / CAMs (Section 5, Table 4).
+
+:func:`linear_form` extracts the linear form of an index expression as integer
+coefficients over symbols plus a constant, failing (returning ``None``) when
+the expression is not linear.  :func:`classify_access` then uses the caller's
+knowledge of which symbols are loop indices and which are compile-time sizes
+to decide the access class.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.ppl.ir import (
+    ArrayApply,
+    ArrayCopy,
+    ArraySlice,
+    BinOp,
+    Const,
+    Expr,
+    Node,
+    Sym,
+    UnaryOp,
+)
+from repro.ppl.traversal import walk
+
+__all__ = [
+    "LinearForm",
+    "AccessClass",
+    "AccessInfo",
+    "linear_form",
+    "classify_access",
+    "collect_accesses",
+]
+
+
+@dataclass
+class LinearForm:
+    """``constant + Σ coeff_i · sym_i`` with integer coefficients."""
+
+    coeffs: Dict[Sym, int] = field(default_factory=dict)
+    constant: int = 0
+
+    def __add__(self, other: "LinearForm") -> "LinearForm":
+        coeffs = dict(self.coeffs)
+        for sym, coeff in other.coeffs.items():
+            coeffs[sym] = coeffs.get(sym, 0) + coeff
+        return LinearForm(_drop_zeros(coeffs), self.constant + other.constant)
+
+    def __sub__(self, other: "LinearForm") -> "LinearForm":
+        return self + other.scale(-1)
+
+    def scale(self, factor: int) -> "LinearForm":
+        return LinearForm(
+            _drop_zeros({s: c * factor for s, c in self.coeffs.items()}),
+            self.constant * factor,
+        )
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def symbols(self) -> set[Sym]:
+        return set(self.coeffs)
+
+    def coefficient(self, sym: Sym) -> int:
+        return self.coeffs.get(sym, 0)
+
+    def restricted_to(self, syms: Iterable[Sym]) -> "LinearForm":
+        """The part of the form involving only the given symbols (no constant)."""
+        allowed = set(syms)
+        return LinearForm({s: c for s, c in self.coeffs.items() if s in allowed}, 0)
+
+    def without(self, syms: Iterable[Sym]) -> "LinearForm":
+        """The form with the given symbols' terms removed (constant kept)."""
+        excluded = set(syms)
+        return LinearForm(
+            {s: c for s, c in self.coeffs.items() if s not in excluded}, self.constant
+        )
+
+
+def _drop_zeros(coeffs: Dict[Sym, int]) -> Dict[Sym, int]:
+    return {s: c for s, c in coeffs.items() if c != 0}
+
+
+def linear_form(expr: Expr) -> Optional[LinearForm]:
+    """Extract the linear form of a (scalar) index expression.
+
+    Returns ``None`` when the expression is not a linear combination of
+    symbols with integer coefficients — e.g. a product of two symbols, a
+    data-dependent array read, or a select.
+    """
+    if isinstance(expr, Const):
+        if isinstance(expr.value, bool) or not isinstance(expr.value, (int, float)):
+            return None
+        value = expr.value
+        if isinstance(value, float) and not value.is_integer():
+            return None
+        return LinearForm({}, int(value))
+    if isinstance(expr, Sym):
+        return LinearForm({expr: 1}, 0)
+    if isinstance(expr, UnaryOp) and expr.op == "neg":
+        inner = linear_form(expr.operand)
+        return None if inner is None else inner.scale(-1)
+    if isinstance(expr, BinOp):
+        if expr.op == "+":
+            lhs, rhs = linear_form(expr.lhs), linear_form(expr.rhs)
+            if lhs is None or rhs is None:
+                return None
+            return lhs + rhs
+        if expr.op == "-":
+            lhs, rhs = linear_form(expr.lhs), linear_form(expr.rhs)
+            if lhs is None or rhs is None:
+                return None
+            return lhs - rhs
+        if expr.op == "*":
+            lhs, rhs = linear_form(expr.lhs), linear_form(expr.rhs)
+            if lhs is None or rhs is None:
+                return None
+            if lhs.is_constant:
+                return rhs.scale(lhs.constant)
+            if rhs.is_constant:
+                return lhs.scale(rhs.constant)
+            return None
+    return None
+
+
+class AccessClass(enum.Enum):
+    """Classification of a single array access."""
+
+    AFFINE = "affine"
+    NON_AFFINE = "non_affine"
+    CONSTANT = "constant"
+
+
+@dataclass
+class AccessInfo:
+    """One array access site found in an expression tree."""
+
+    node: Node
+    array: Expr
+    index_exprs: tuple[Optional[Expr], ...]
+    access_class: AccessClass
+
+    @property
+    def is_affine(self) -> bool:
+        return self.access_class in (AccessClass.AFFINE, AccessClass.CONSTANT)
+
+    @property
+    def array_name(self) -> str:
+        return self.array.name if isinstance(self.array, Sym) else type(self.array).__name__
+
+
+def classify_access(
+    index_exprs: Sequence[Optional[Expr]],
+    loop_indices: Iterable[Sym],
+    size_syms: Iterable[Sym] = (),
+) -> AccessClass:
+    """Classify an access given its per-dimension index expressions.
+
+    ``None`` entries (full-dimension slices) are trivially affine.  An index
+    is affine when it is linear over loop indices and compile-time size
+    symbols only; any other symbol (a data-dependent value) or non-linear
+    structure makes the access non-affine.
+    """
+    allowed = set(loop_indices) | set(size_syms)
+    saw_index = False
+    for index in index_exprs:
+        if index is None:
+            continue
+        form = linear_form(index)
+        if form is None:
+            return AccessClass.NON_AFFINE
+        if not set(form.coeffs) <= allowed:
+            return AccessClass.NON_AFFINE
+        if any(sym in form.coeffs for sym in loop_indices):
+            saw_index = True
+    return AccessClass.AFFINE if saw_index else AccessClass.CONSTANT
+
+
+def collect_accesses(
+    root: Node,
+    loop_indices: Iterable[Sym],
+    size_syms: Iterable[Sym] = (),
+) -> list[AccessInfo]:
+    """All array accesses (reads, slices, copies) under ``root``, classified."""
+    loop_indices = list(loop_indices)
+    size_syms = list(size_syms)
+    result: list[AccessInfo] = []
+    for node in walk(root):
+        if isinstance(node, ArrayApply):
+            indices: tuple[Optional[Expr], ...] = tuple(node.indices)
+            array = node.array
+        elif isinstance(node, ArraySlice):
+            indices = node.specs
+            array = node.array
+        elif isinstance(node, ArrayCopy):
+            indices = tuple(node.offsets)
+            array = node.array
+        else:
+            continue
+        access_class = classify_access(indices, loop_indices, size_syms)
+        result.append(AccessInfo(node, array, indices, access_class))
+    return result

@@ -1,0 +1,404 @@
+"""Static estimators used by hardware generation and the performance model.
+
+Three estimators operate on (possibly tiled) PPL programs given concrete
+workload sizes:
+
+* :class:`StaticEvaluator` — evaluates size expressions (domain extents, tile
+  sizes, copy sizes) to integers.  Expressions that reference loop indices
+  (e.g. the partial-tile clamp ``min(b, n - ii)``) evaluate to their static
+  upper bound.
+* :func:`count_scalar_ops` — total number of scalar arithmetic operations a
+  program performs, used to size and time the pipelined execution units.  The
+  baseline and optimised designs perform the same arithmetic (the paper keeps
+  the innermost parallelism factor constant), so this is counted on the IR
+  independent of tiling.
+* :class:`TrafficAnalyzer` — enumerates main-memory access sites (element
+  reads, slices, tile copies) with their trip counts, word counts and
+  sequentiality.  This powers both the baseline memory model and the
+  Figure 5c traffic table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.access import linear_form
+from repro.errors import AnalysisError
+from repro.ppl.ir import (
+    ArrayApply,
+    ArrayCopy,
+    ArrayDim,
+    ArraySlice,
+    BinOp,
+    Cmp,
+    Const,
+    Domain,
+    Expr,
+    FlatMap,
+    GroupByFold,
+    Lambda,
+    Let,
+    MakeTuple,
+    Map,
+    MultiFold,
+    Node,
+    Pattern,
+    Select,
+    Sym,
+    TupleGet,
+    UnaryOp,
+)
+from repro.ppl.program import Program
+from repro.ppl.types import is_tensor
+
+__all__ = [
+    "StaticEvaluator",
+    "count_scalar_ops",
+    "AccessRecord",
+    "TrafficAnalyzer",
+    "workload_env",
+    "input_shapes",
+]
+
+
+def workload_env(program: Program, bindings: Mapping[str, object]) -> Dict[Sym, int]:
+    """Environment mapping the program's size symbols to concrete integers."""
+    env: Dict[Sym, int] = {}
+    for size in program.sizes:
+        value = bindings.get(size.name)
+        if value is not None:
+            env[size] = int(value)
+    return env
+
+
+def input_shapes(program: Program, bindings: Mapping[str, object]) -> Dict[str, Tuple[int, ...]]:
+    """Shapes of the bound input arrays, keyed by input name."""
+    shapes: Dict[str, Tuple[int, ...]] = {}
+    for array in program.inputs:
+        value = bindings.get(array.name)
+        if value is not None and hasattr(value, "shape"):
+            shapes[array.name] = tuple(int(s) for s in value.shape)
+    return shapes
+
+
+class StaticEvaluator:
+    """Evaluates size expressions to integers, with upper bounds for clamps."""
+
+    def __init__(
+        self,
+        env: Mapping[Sym, int],
+        shapes: Optional[Mapping[str, Tuple[int, ...]]] = None,
+    ) -> None:
+        self.env = dict(env)
+        self.shapes = dict(shapes or {})
+
+    def eval(self, expr: Expr) -> Optional[int]:
+        if isinstance(expr, Const):
+            return int(expr.value) if isinstance(expr.value, (int, float)) else None
+        if isinstance(expr, Sym):
+            value = self.env.get(expr)
+            return int(value) if value is not None else None
+        if isinstance(expr, ArrayDim):
+            if isinstance(expr.array, Sym) and expr.array.name in self.shapes:
+                return self.shapes[expr.array.name][expr.axis]
+            return None
+        if isinstance(expr, UnaryOp) and expr.op == "neg":
+            inner = self.eval(expr.operand)
+            return None if inner is None else -inner
+        if isinstance(expr, BinOp):
+            lhs, rhs = self.eval(expr.lhs), self.eval(expr.rhs)
+            if expr.op == "min":
+                known = [v for v in (lhs, rhs) if v is not None]
+                return min(known) if known else None
+            if expr.op == "max":
+                known = [v for v in (lhs, rhs) if v is not None]
+                return max(known) if known else None
+            if lhs is None or rhs is None:
+                return None
+            if expr.op == "+":
+                return lhs + rhs
+            if expr.op == "-":
+                return lhs - rhs
+            if expr.op == "*":
+                return lhs * rhs
+            if expr.op == "/":
+                return lhs // rhs if rhs else None
+            if expr.op == "%":
+                return lhs % rhs if rhs else None
+        return None
+
+    def eval_or(self, expr: Expr, default: int) -> int:
+        value = self.eval(expr)
+        return default if value is None else value
+
+    def domain_trips(self, domain: Domain) -> int:
+        """Number of iterations of a (possibly strided) domain."""
+        total = 1
+        for extent, stride in zip(domain.dims, domain.stride_exprs):
+            extent_value = self.eval_or(extent, 1)
+            stride_value = self.eval_or(stride, 1)
+            stride_value = max(1, stride_value)
+            total *= max(1, -(-extent_value // stride_value))
+        return total
+
+    def domain_elements(self, domain: Domain) -> int:
+        """Total number of points in the domain ignoring strides."""
+        total = 1
+        for extent in domain.dims:
+            total *= max(1, self.eval_or(extent, 1))
+        return total
+
+
+# ---------------------------------------------------------------------------
+# Scalar work estimation
+# ---------------------------------------------------------------------------
+
+_OP_NODES = (BinOp, UnaryOp, Cmp, Select, TupleGet)
+
+
+def count_scalar_ops(node: Node, evaluator: StaticEvaluator) -> float:
+    """Total scalar arithmetic operations performed by ``node``.
+
+    Patterns multiply the work of their functions by their trip count.  The
+    combine functions of folds are excluded (they run once per partial
+    accumulator pair, a negligible fraction of the element work and dependent
+    on the parallelisation strategy rather than the program).
+    """
+    if node is None:
+        return 0.0
+    if isinstance(node, Pattern):
+        trips = evaluator.domain_trips(node.domain)
+        per_iteration = 0.0
+        if isinstance(node, Map):
+            per_iteration = count_scalar_ops(node.func.body, evaluator)
+        elif isinstance(node, MultiFold):
+            per_iteration = count_scalar_ops(node.index_func.body, evaluator)
+            per_iteration += count_scalar_ops(node.value_func.body, evaluator)
+        elif isinstance(node, FlatMap):
+            per_iteration = count_scalar_ops(node.func.body, evaluator)
+        elif isinstance(node, GroupByFold):
+            per_iteration = count_scalar_ops(node.key_func.body, evaluator)
+            per_iteration += count_scalar_ops(node.value_func.body, evaluator)
+        init_ops = 0.0
+        if isinstance(node, (MultiFold, GroupByFold)):
+            init_ops = count_scalar_ops(node.init, evaluator)
+        return trips * max(per_iteration, 1.0) + init_ops
+
+    total = 1.0 if isinstance(node, _OP_NODES) else 0.0
+    if isinstance(node, Lambda):
+        return count_scalar_ops(node.body, evaluator)
+    if isinstance(node, Let):
+        return count_scalar_ops(node.value, evaluator) + count_scalar_ops(node.body, evaluator)
+    for child in node.children():
+        if isinstance(child, Domain):
+            continue
+        total += count_scalar_ops(child, evaluator)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Traffic analysis
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AccessRecord:
+    """One main-memory access site with its execution context.
+
+    ``stream`` classifies how the site walks memory relative to the innermost
+    enclosing loop: ``"sequential"`` (the last array dimension follows the
+    innermost index — burst friendly), ``"strided"`` (an outer dimension
+    follows the innermost index — a column walk), or ``"random"``
+    (data-dependent or loop-invariant).  ``run_words`` is the length of one
+    contiguous run in words; the baseline memory model issues one DRAM command
+    stream per run.
+    """
+
+    array: str
+    kind: str  # "read", "slice", "copy"
+    words_per_trip: int
+    trips: int
+    sequential: bool
+    is_copy: bool
+    stream: str = "sequential"
+    run_words: int = 1
+
+    @property
+    def total_words(self) -> int:
+        return self.words_per_trip * self.trips
+
+    @property
+    def runs(self) -> int:
+        return max(1, -(-self.total_words // max(1, self.run_words)))
+
+
+class TrafficAnalyzer:
+    """Enumerates accesses to main-memory (input) arrays with trip counts."""
+
+    def __init__(
+        self,
+        program: Program,
+        evaluator: StaticEvaluator,
+        word_bytes: int = 4,
+    ) -> None:
+        self.program = program
+        self.evaluator = evaluator
+        self.word_bytes = word_bytes
+        self.input_names = {array.name for array in program.inputs}
+        self.records: List[AccessRecord] = []
+
+    # -- public API ----------------------------------------------------------
+    def analyze(self, root: Optional[Node] = None) -> List[AccessRecord]:
+        self.records = []
+        self._visit(root if root is not None else self.program.body, trips=1, inner_syms=())
+        return self.records
+
+    def words_by_array(self, copies_only: bool = False) -> Dict[str, int]:
+        """Total main-memory words read per array."""
+        result: Dict[str, int] = {}
+        for record in self.records:
+            if copies_only and not record.is_copy:
+                continue
+            result[record.array] = result.get(record.array, 0) + record.total_words
+        return result
+
+    def total_words(self, copies_only: bool = False) -> int:
+        return sum(self.words_by_array(copies_only).values())
+
+    # -- traversal -------------------------------------------------------------
+    def _array_name(self, array: Expr) -> Optional[str]:
+        if isinstance(array, Sym) and array.name in self.input_names:
+            return array.name
+        return None
+
+    def _shape_of(self, array: Sym) -> Tuple[int, ...]:
+        shapes = self.evaluator.shapes
+        if array.name in shapes:
+            return shapes[array.name]
+        return tuple()
+
+    def _visit(self, node: Node, trips: int, inner_syms: Tuple[Sym, ...]) -> None:
+        if node is None:
+            return
+
+        if isinstance(node, ArrayCopy):
+            name = self._array_name(node.array)
+            if name is not None:
+                words = self._copy_words(node, name)
+                self.records.append(
+                    AccessRecord(
+                        array=name,
+                        kind="copy",
+                        words_per_trip=words,
+                        trips=trips,
+                        sequential=True,
+                        is_copy=True,
+                        stream="sequential",
+                        run_words=words,
+                    )
+                )
+            # Index expressions inside the copy do not access main memory.
+            for offset in node.offsets:
+                self._visit(offset, trips, inner_syms)
+            for size in node.tile_sizes:
+                self._visit(size, trips, inner_syms)
+            return
+
+        if isinstance(node, (ArrayApply, ArraySlice)):
+            name = self._array_name(node.array)
+            if name is not None:
+                words, stream, run_words = self._classify_access(node, inner_syms)
+                self.records.append(
+                    AccessRecord(
+                        array=name,
+                        kind="slice" if isinstance(node, ArraySlice) else "read",
+                        words_per_trip=words,
+                        trips=trips,
+                        sequential=stream == "sequential",
+                        is_copy=False,
+                        stream=stream,
+                        run_words=run_words,
+                    )
+                )
+            for child in node.children():
+                if child is not node.array:
+                    self._visit(child, trips, inner_syms)
+            return
+
+        if isinstance(node, Pattern):
+            pattern_trips = self.evaluator.domain_trips(node.domain)
+            for name, value in node.field_values().items():
+                if name == "combine" or isinstance(value, Domain):
+                    continue
+                if isinstance(value, Lambda):
+                    index_params = tuple(
+                        p for p in value.params if not is_tensor(p.ty) and not _is_accumulator(p, value)
+                    )
+                    self._visit(value.body, trips * pattern_trips, index_params or inner_syms)
+                elif isinstance(value, Expr):
+                    self._visit(value, trips, inner_syms)
+            return
+
+        if isinstance(node, Let):
+            self._visit(node.value, trips, inner_syms)
+            self._visit(node.body, trips, inner_syms)
+            return
+
+        for child in node.children():
+            self._visit(child, trips, inner_syms)
+
+    # -- sizing helpers ----------------------------------------------------------
+    def _copy_words(self, node: ArrayCopy, name: str) -> int:
+        shape = self._shape_of(node.array)
+        words = 1
+        for axis, size in enumerate(node.sizes):
+            if size is None:
+                words *= shape[axis] if axis < len(shape) else 1
+            else:
+                words *= max(1, self.evaluator.eval_or(size, 1))
+        return words
+
+    def _classify_access(
+        self, node: Node, inner_syms: Tuple[Sym, ...]
+    ) -> Tuple[int, str, int]:
+        """Words per trip, stream class, and contiguous run length of one access."""
+        shape = self._shape_of(node.array)
+        inner = set(inner_syms)
+
+        if isinstance(node, ArraySlice):
+            words = 1
+            for axis in node.kept_axes:
+                words *= shape[axis] if axis < len(shape) else 1
+            return max(1, words), "sequential", max(1, words)
+
+        indices = node.indices
+        last_form = linear_form(indices[-1]) if indices else None
+        last_uses_inner = last_form is not None and bool(set(last_form.coeffs) & inner)
+        outer_uses_inner = False
+        for index in indices[:-1]:
+            form = linear_form(index)
+            if form is not None and set(form.coeffs) & inner:
+                outer_uses_inner = True
+        non_affine = any(linear_form(index) is None for index in indices)
+
+        row_words = shape[-1] if shape else 1
+        if non_affine:
+            return 1, "random", 1
+        if last_uses_inner:
+            # The innermost loop walks the fastest-moving dimension: runs are
+            # whole rows (or the whole array for rank-1 inputs).
+            if len(shape) <= 1:
+                run = shape[0] if shape else 1
+            else:
+                run = row_words
+            return 1, "sequential", max(1, run)
+        if outer_uses_inner:
+            # Column walk: the innermost loop strides across rows.
+            return 1, "strided", 1
+        return 1, "random", 1
+
+
+def _is_accumulator(param: Sym, func: Lambda) -> bool:
+    """Heuristically identify a lambda's accumulator parameter (last, non-index)."""
+    return param is func.params[-1] and len(func.params) > 1 and is_tensor(param.ty)

@@ -1,0 +1,241 @@
+"""Main-memory traffic and on-chip storage analysis (Figure 5c).
+
+Figure 5c of the paper reports, for k-means clustering after each IR
+transformation (fused → strip mined → interchanged), the *minimum* number of
+words read from main memory and the on-chip storage required for each data
+structure.  :func:`minimum_reads` computes exactly that count for any PPL
+program:
+
+* for explicit tile copies the count is simply (copy words) × (trips of the
+  enclosing loops) — the copies literally are the main-memory reads;
+* for direct (un-copied) accesses the count assumes the design buffers the
+  currently accessed row on chip, so an array is re-read only when the loops
+  that select its row advance: the count is the product of the trip counts of
+  every enclosing loop from the outermost down to the deepest loop whose
+  index participates in selecting the row, times the row length.
+
+:func:`on_chip_storage` reports the words of on-chip buffering each data
+structure needs in the same model (one row for direct accesses, the tile for
+copies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.analysis.access import linear_form
+from repro.analysis.estimate import StaticEvaluator, input_shapes, workload_env
+from repro.ppl.ir import (
+    ArrayApply,
+    ArrayCopy,
+    ArraySlice,
+    Domain,
+    Expr,
+    Lambda,
+    Let,
+    MultiFold,
+    Node,
+    Pattern,
+    Sym,
+)
+from repro.ppl.program import Program
+from repro.ppl.traversal import collect
+
+__all__ = ["TrafficEntry", "TrafficReport", "minimum_reads", "analyze_traffic"]
+
+
+@dataclass
+class TrafficEntry:
+    """Traffic and storage for one data structure."""
+
+    array: str
+    main_memory_words: int = 0
+    on_chip_words: int = 0
+
+
+@dataclass
+class TrafficReport:
+    """Per-array traffic/storage for one program form."""
+
+    label: str
+    entries: Dict[str, TrafficEntry] = field(default_factory=dict)
+
+    def entry(self, array: str) -> TrafficEntry:
+        if array not in self.entries:
+            self.entries[array] = TrafficEntry(array)
+        return self.entries[array]
+
+    def words_read(self, array: str) -> int:
+        return self.entries[array].main_memory_words if array in self.entries else 0
+
+    def storage(self, array: str) -> int:
+        return self.entries[array].on_chip_words if array in self.entries else 0
+
+
+@dataclass
+class _Loop:
+    syms: Tuple[Sym, ...]
+    trips: int
+
+
+class _TrafficWalker:
+    def __init__(self, program: Program, evaluator: StaticEvaluator) -> None:
+        self.program = program
+        self.ev = evaluator
+        self.inputs = {array.name for array in program.inputs}
+        self.report = TrafficReport(label=program.name)
+        # Nodes already counted (the same IR node can appear several times in
+        # the tree when an expression is reused, e.g. ``square(x) = x * x``;
+        # hardware reads the value once).
+        self._seen_nodes: set = set()
+        # Direct-access sites grouped by (array, row-selection signature):
+        # every site in a group reads the same row, which is buffered once.
+        self._direct_sites: Dict[Tuple[str, frozenset], Dict[str, int]] = {}
+
+    def run(self) -> TrafficReport:
+        self._visit(self.program.body, loops=[])
+        for (array, _signature), site in self._direct_sites.items():
+            entry = self.report.entry(array)
+            entry.main_memory_words += site["reads"]
+            entry.on_chip_words = max(entry.on_chip_words, site["row_words"])
+        return self.report
+
+    # -- helpers -------------------------------------------------------------
+    def _shape(self, array: Sym) -> Tuple[int, ...]:
+        return self.ev.shapes.get(array.name, ())
+
+    def _visit(self, node: Node, loops: List[_Loop]) -> None:
+        if node is None:
+            return
+
+        if isinstance(node, ArrayCopy) and isinstance(node.array, Sym) and node.array.name in self.inputs:
+            if id(node) in self._seen_nodes:
+                return
+            self._seen_nodes.add(id(node))
+            words = self._copy_words(node)
+            trips = 1
+            for loop in loops:
+                trips *= loop.trips
+            entry = self.report.entry(node.array.name)
+            entry.main_memory_words += words * trips
+            entry.on_chip_words = max(entry.on_chip_words, words)
+            return
+
+        if isinstance(node, (ArrayApply, ArraySlice)) and isinstance(node.array, Sym):
+            if node.array.name in self.inputs and id(node) not in self._seen_nodes:
+                self._seen_nodes.add(id(node))
+                self._count_direct_access(node, loops)
+            for child in node.children():
+                if child is not node.array:
+                    self._visit(child, loops)
+            return
+
+        if isinstance(node, Pattern):
+            trips = self.ev.domain_trips(node.domain)
+            for name, value in node.field_values().items():
+                if name == "combine" or isinstance(value, Domain):
+                    continue
+                if isinstance(value, Lambda):
+                    loop = _Loop(syms=tuple(value.params), trips=trips)
+                    self._visit(value.body, loops + [loop])
+                elif isinstance(value, Expr):
+                    self._visit(value, loops)
+            return
+
+        if isinstance(node, Let):
+            self._visit(node.value, loops)
+            self._visit(node.body, loops)
+            return
+
+        for child in node.children():
+            self._visit(child, loops)
+
+    def _copy_words(self, node: ArrayCopy) -> int:
+        shape = self._shape(node.array)
+        words = 1
+        for axis, size in enumerate(node.sizes):
+            if size is None:
+                words *= shape[axis] if axis < len(shape) else 1
+            else:
+                words *= max(1, self.ev.eval_or(size, 1))
+        return words
+
+    def _count_direct_access(self, node: Node, loops: List[_Loop]) -> None:
+        array: Sym = node.array
+        shape = self._shape(array)
+        if isinstance(node, ArraySlice):
+            row_indices = [spec for spec in node.specs if spec is not None]
+            row_words = 1
+            for axis in node.kept_axes:
+                row_words *= shape[axis] if axis < len(shape) else 1
+        else:
+            indices = list(node.indices)
+            row_indices = indices[:-1] if len(indices) > 1 else []
+            last_axis = len(indices) - 1
+            row_words = shape[last_axis] if last_axis < len(shape) else 1
+            if len(indices) == 1:
+                # Rank-1 array: the whole array is the "row".
+                row_words = shape[0] if shape else 1
+
+        row_syms = set()
+        for index in row_indices:
+            form = linear_form(index)
+            if form is not None:
+                row_syms |= set(form.coeffs)
+
+        # Product of trips of every loop from the outermost down to the
+        # deepest loop selecting the row.
+        deepest = -1
+        for level, loop in enumerate(loops):
+            if set(loop.syms) & row_syms:
+                deepest = level
+        reads = 1
+        for level in range(deepest + 1):
+            reads *= loops[level].trips
+
+        signature = frozenset(sym.name for sym in row_syms)
+        key = (array.name, signature)
+        site = self._direct_sites.setdefault(key, {"reads": 0, "row_words": 0})
+        site["reads"] = max(site["reads"], reads * max(1, row_words))
+        site["row_words"] = max(site["row_words"], max(1, row_words))
+
+
+def minimum_reads(program: Program, bindings: Mapping[str, object]) -> TrafficReport:
+    """Minimum main-memory words read and on-chip storage per input array."""
+    evaluator = StaticEvaluator(workload_env(program, bindings), input_shapes(program, bindings))
+    return _TrafficWalker(program, evaluator).run()
+
+
+def analyze_traffic(
+    programs: Mapping[str, Program], bindings: Mapping[str, object]
+) -> Dict[str, TrafficReport]:
+    """Traffic reports for several program forms (fused / strip mined / interchanged)."""
+    reports: Dict[str, TrafficReport] = {}
+    for label, program in programs.items():
+        report = minimum_reads(program, bindings)
+        report.label = label
+        reports[label] = report
+    return reports
+
+
+def intermediate_storage_words(program: Program, bindings: Mapping[str, object]) -> int:
+    """On-chip words of the (dist, index) intermediate in k-means-like programs.
+
+    Before interchange the intermediate is a single scalar pair (2 words);
+    after split + interchange it is a vector of pairs, one per element of the
+    split pattern's tile (2 × b0 in Figure 5c).
+    """
+    evaluator = StaticEvaluator(workload_env(program, bindings), input_shapes(program, bindings))
+    split_lets = [
+        let
+        for let in collect(program.body, lambda n: isinstance(n, Let))
+        if isinstance(let.value, MultiFold) and let.value.meta.get("interchanged")
+    ]
+    if not split_lets:
+        return 2
+    fold = split_lets[0].value
+    words = 1
+    for dim in fold.rshape:
+        words *= max(1, evaluator.eval_or(dim, 1))
+    return 2 * words

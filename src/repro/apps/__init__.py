@@ -1,0 +1,34 @@
+"""The six data-analytics benchmarks of Table 5.
+
+Importing this package registers every benchmark in the registry exposed by
+:func:`all_benchmarks` / :func:`get_benchmark`.
+"""
+
+from repro.apps.base import BENCHMARK_ORDER, Benchmark, all_benchmarks, get_benchmark
+from repro.apps.gda import GDA, build_gda
+from repro.apps.gemm import GEMM, build_gemm
+from repro.apps.kmeans import KMEANS, build_kmeans, closest_centroid_fold
+from repro.apps.outerprod import OUTERPROD, build_outerprod
+from repro.apps.sumrows import SUMROWS, build_sumrows
+from repro.apps.tpchq6 import TPCHQ6, build_tpchq6, build_tpchq6_flatmap
+
+__all__ = [
+    "BENCHMARK_ORDER",
+    "Benchmark",
+    "all_benchmarks",
+    "get_benchmark",
+    "GDA",
+    "GEMM",
+    "KMEANS",
+    "OUTERPROD",
+    "SUMROWS",
+    "TPCHQ6",
+    "build_gda",
+    "build_gemm",
+    "build_kmeans",
+    "build_outerprod",
+    "build_sumrows",
+    "build_tpchq6",
+    "build_tpchq6_flatmap",
+    "closest_centroid_fold",
+]

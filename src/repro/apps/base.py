@@ -1,0 +1,82 @@
+"""Benchmark definitions shared by tests, benchmarks and the evaluation harness.
+
+Each of the paper's six benchmarks (Table 5) is described by a
+:class:`Benchmark` object bundling:
+
+* the PPL program builder (the fused form, mirroring Figure 4),
+* a numpy reference implementation used as the correctness oracle,
+* an input generator,
+* the workload sizes and tile sizes used by the evaluation harness, and the
+  smaller sizes used by the functional tests (the reference interpreter runs
+  pure Python loops, so tests use small shapes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.ppl.program import Program
+
+__all__ = ["Benchmark", "register", "get_benchmark", "all_benchmarks", "BENCHMARK_ORDER"]
+
+
+# The order used by Figure 7 in the paper.
+BENCHMARK_ORDER = ["outerprod", "sumrows", "gemm", "tpchq6", "gda", "kmeans"]
+
+
+@dataclass
+class Benchmark:
+    """A single benchmark of Table 5."""
+
+    name: str
+    description: str
+    collection_ops: tuple[str, ...]
+    build: Callable[[], Program]
+    generate_inputs: Callable[[Mapping[str, int], np.random.Generator], Dict[str, np.ndarray]]
+    reference: Callable[[Mapping[str, object]], object]
+    default_sizes: Dict[str, int]
+    test_sizes: Dict[str, int]
+    tile_sizes: Dict[str, int]
+    par_factors: Dict[str, int] = field(default_factory=dict)
+    notes: str = ""
+
+    def bindings(
+        self,
+        sizes: Optional[Mapping[str, int]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Dict[str, object]:
+        """Concrete input bindings (sizes + generated arrays) for the program."""
+        sizes = dict(sizes or self.test_sizes)
+        rng = rng or np.random.default_rng(7)
+        data = self.generate_inputs(sizes, rng)
+        bindings: Dict[str, object] = dict(sizes)
+        bindings.update(data)
+        return bindings
+
+    def evaluation_bindings(self, rng: Optional[np.random.Generator] = None) -> Dict[str, object]:
+        return self.bindings(self.default_sizes, rng)
+
+
+_REGISTRY: Dict[str, Benchmark] = {}
+
+
+def register(benchmark: Benchmark) -> Benchmark:
+    """Register a benchmark in the global registry (used at import time)."""
+    _REGISTRY[benchmark.name] = benchmark
+    return benchmark
+
+
+def get_benchmark(name: str) -> Benchmark:
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown benchmark {name!r}; known: {sorted(_REGISTRY)}")
+    return _REGISTRY[name]
+
+
+def all_benchmarks() -> list[Benchmark]:
+    """All registered benchmarks in Figure 7 order."""
+    ordered = [name for name in BENCHMARK_ORDER if name in _REGISTRY]
+    extra = [name for name in _REGISTRY if name not in BENCHMARK_ORDER]
+    return [_REGISTRY[name] for name in ordered + sorted(extra)]

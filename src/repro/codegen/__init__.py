@@ -1,0 +1,6 @@
+"""Code generation: MaxJ-like HGL emission and human-readable design reports."""
+
+from repro.codegen.maxj import generate_maxj
+from repro.codegen.report import design_report
+
+__all__ = ["generate_maxj", "design_report"]

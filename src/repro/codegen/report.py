@@ -1,0 +1,52 @@
+"""Human-readable design reports (the textual analogue of Figure 6)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.area import estimate_area
+from repro.hw.controllers import Controller
+from repro.hw.design import HardwareDesign
+from repro.hw.templates import HardwareModule
+
+__all__ = ["design_report"]
+
+
+def _describe(module: HardwareModule) -> str:
+    extras = []
+    for attr in ("lanes", "depth_words", "bytes_per_invocation", "iterations", "entries"):
+        value = getattr(module, attr, None)
+        if value:
+            extras.append(f"{attr}={value}")
+    if getattr(module, "double", False):
+        extras.append("double-buffered")
+    detail = ", ".join(extras)
+    return f"{module.kind} {module.name}" + (f" ({detail})" if detail else "")
+
+
+def _walk_controller(module: HardwareModule, lines: List[str], depth: int) -> None:
+    lines.append("  " * depth + _describe(module))
+    if isinstance(module, Controller):
+        for stage in module.stages:
+            _walk_controller(stage, lines, depth + 1)
+
+
+def design_report(design: HardwareDesign) -> str:
+    """A structured report: controller tree, memories, area, traffic."""
+    area = estimate_area(design)
+    lines: List[str] = [
+        f"Hardware design report — {design.name}",
+        "=" * 60,
+        design.summary(),
+        "",
+        "Controller hierarchy (compare with Figure 6 of the paper):",
+    ]
+    _walk_controller(design.top, lines, 1)
+    lines.append("")
+    lines.append("On-chip memories:")
+    for memory in design.memories:
+        lines.append("  " + _describe(memory))
+    lines.append("")
+    lines.append("Area estimate:")
+    lines.append("  " + area.summary())
+    return "\n".join(lines)

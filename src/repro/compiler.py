@@ -1,0 +1,69 @@
+"""End-to-end compiler driver: PPL program → tiled IR → hardware design.
+
+This is the public entry point tying together the two halves of Figure 1:
+the pattern transformations of Section 4 (:mod:`repro.transforms`) and the
+hardware generation of Section 5 (:mod:`repro.hw`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.analysis.area import AreaReport, estimate_area
+from repro.config import CompileConfig
+from repro.hw.design import HardwareDesign
+from repro.hw.generation import generate_hardware
+from repro.ppl.program import Program
+from repro.sim.engine import simulate
+from repro.sim.metrics import SimulationResult
+from repro.sim.model import PerformanceModel
+from repro.target.device import Board, DEFAULT_BOARD
+from repro.transforms.tiling import TilingDriver, TilingResult
+
+__all__ = ["CompilationResult", "compile_program"]
+
+
+@dataclass
+class CompilationResult:
+    """Everything produced by one compilation: IR stages, design, area, timing."""
+
+    program: Program
+    config: CompileConfig
+    tiling: TilingResult
+    design: HardwareDesign
+    area: AreaReport
+
+    @property
+    def tiled_program(self) -> Program:
+        return self.tiling.tiled
+
+    def simulate(self, model: Optional[PerformanceModel] = None) -> SimulationResult:
+        return simulate(self.design, model)
+
+
+def compile_program(
+    program: Program,
+    config: CompileConfig,
+    bindings: Mapping[str, object],
+    board: Board = DEFAULT_BOARD,
+    par: Optional[int] = None,
+    run_fusion: bool = True,
+) -> CompilationResult:
+    """Compile a PPL program for the given configuration and workload.
+
+    ``bindings`` provides the concrete workload (sizes and, optionally, input
+    arrays) used to size buffers, trip counts and DRAM transfers — the analog
+    of generating a bitstream for a known dataset size in the paper's
+    evaluation.
+    """
+    tiling = TilingDriver(config, run_fusion=run_fusion).run(program)
+    design = generate_hardware(tiling.tiled, config, bindings, board=board, par=par)
+    area = estimate_area(design)
+    return CompilationResult(
+        program=program,
+        config=config,
+        tiling=tiling,
+        design=design,
+        area=area,
+    )

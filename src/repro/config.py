@@ -1,0 +1,110 @@
+"""Compilation configuration.
+
+The evaluation in the paper compares three hardware configurations per
+benchmark (Section 6.2):
+
+* the **baseline** design — no tiling, no metapipelining, but innermost
+  data/pipeline parallelism and DRAM-burst-level locality;
+* **+tiling** — the strip mining + pattern interchange transformations of
+  Section 4;
+* **+tiling+metapipelining** — additionally the metapipeline scheduling of
+  Section 5.
+
+:class:`CompileConfig` selects which passes run and carries the user-chosen
+tile sizes and innermost parallelisation factors (the paper keeps the
+innermost parallelism factor constant across configurations to isolate the
+effect of the optimizations, and requires the user to specify tile sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CompileConfig", "BASELINE", "TILING", "TILING_METAPIPELINING"]
+
+
+@dataclass(frozen=True)
+class CompileConfig:
+    """Options controlling the compiler flow.
+
+    Attributes:
+        tiling: run strip mining + pattern interchange (Section 4).
+        metapipelining: schedule outer patterns as metapipelines (Section 5).
+        tile_sizes: map from *size symbol name* (e.g. ``"n"``, ``"k"``) to the
+            tile size used when a pattern dimension with that extent is strip
+            mined.  Dimensions not listed are left untiled, like ``d`` in the
+            paper's k-means walkthrough.
+        par_factors: innermost parallelisation factor per benchmark dimension
+            name; ``default_par`` is used when a dimension is not listed.
+        default_par: vector width used for innermost patterns over scalars.
+        on_chip_budget_words: capacity heuristic used by the interchange
+            split rule — an intermediate produced by splitting is only
+            materialised when its size is statically below this budget.
+        split_threshold_words: maximum size of intermediates created by the
+            split-and-interchange heuristic (defaults to the on-chip budget).
+    """
+
+    tiling: bool = False
+    metapipelining: bool = False
+    tile_sizes: Mapping[str, int] = field(default_factory=dict)
+    par_factors: Mapping[str, int] = field(default_factory=dict)
+    default_par: int = 16
+    on_chip_budget_words: int = 512 * 1024
+    split_threshold_words: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.metapipelining and not self.tiling:
+            raise ConfigurationError(
+                "metapipelining requires tiling: the metapipeline stages are the "
+                "tile load / compute / store phases created by the tiling pass"
+            )
+        for name, size in self.tile_sizes.items():
+            if size <= 0:
+                raise ConfigurationError(f"tile size for {name!r} must be positive, got {size}")
+        for name, par in self.par_factors.items():
+            if par <= 0:
+                raise ConfigurationError(f"par factor for {name!r} must be positive, got {par}")
+
+    @property
+    def label(self) -> str:
+        if self.metapipelining:
+            return "tiling+metapipelining"
+        if self.tiling:
+            return "tiling"
+        return "baseline"
+
+    @property
+    def split_budget(self) -> int:
+        return (
+            self.split_threshold_words
+            if self.split_threshold_words is not None
+            else self.on_chip_budget_words
+        )
+
+    def tile_size_for(self, dim_name: str) -> Optional[int]:
+        """Tile size for a dimension named ``dim_name`` or None when untiled."""
+        if not self.tiling:
+            return None
+        return self.tile_sizes.get(dim_name)
+
+    def par_for(self, dim_name: str) -> int:
+        return self.par_factors.get(dim_name, self.default_par)
+
+    def with_tiles(self, **tile_sizes: int) -> "CompileConfig":
+        merged = dict(self.tile_sizes)
+        merged.update(tile_sizes)
+        return replace(self, tile_sizes=merged)
+
+    def with_pars(self, **par_factors: int) -> "CompileConfig":
+        merged = dict(self.par_factors)
+        merged.update(par_factors)
+        return replace(self, par_factors=merged)
+
+
+# The three configurations compared throughout the evaluation.
+BASELINE = CompileConfig(tiling=False, metapipelining=False)
+TILING = CompileConfig(tiling=True, metapipelining=False)
+TILING_METAPIPELINING = CompileConfig(tiling=True, metapipelining=True)

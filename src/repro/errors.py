@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro compiler."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class IRError(ReproError):
+    """Raised when an IR node is constructed or used incorrectly."""
+
+
+class TypeInferenceError(IRError):
+    """Raised when the type of an expression cannot be inferred."""
+
+
+class InterpreterError(ReproError):
+    """Raised when the reference interpreter encounters an invalid program."""
+
+
+class TransformError(ReproError):
+    """Raised when a transformation pass cannot be applied."""
+
+
+class TilingError(TransformError):
+    """Raised when strip mining or interchange is applied to an unsupported shape."""
+
+
+class AnalysisError(ReproError):
+    """Raised when a static analysis fails (access patterns, memory allocation...)."""
+
+
+class HardwareGenerationError(ReproError):
+    """Raised when the tiled IR cannot be mapped onto hardware templates."""
+
+
+class SimulationError(ReproError):
+    """Raised when the hardware simulator is given an inconsistent design."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid compile or evaluation configurations."""

@@ -1,0 +1,13 @@
+"""Evaluation harness reproducing the paper's experiments (Section 6)."""
+
+from repro.evaluation.figure5c import Figure5cReport, run_figure5c
+from repro.evaluation.figure7 import BenchmarkResult, Figure7Report, run_benchmark, run_figure7
+
+__all__ = [
+    "BenchmarkResult",
+    "Figure7Report",
+    "run_benchmark",
+    "run_figure7",
+    "Figure5cReport",
+    "run_figure5c",
+]

@@ -1,0 +1,182 @@
+"""Figure 7: speedups and relative resource use of the optimised designs.
+
+For every benchmark of Table 5 the harness compiles three hardware designs —
+baseline, +tiling, +tiling+metapipelining — on the same workload and with the
+same innermost parallelism factor (Section 6.2), simulates them, and reports
+
+* the speedup of each optimised design over the baseline (Figure 7, top), and
+* the resource use of each optimised design relative to the baseline for
+  logic, flip-flops and on-chip memory (Figure 7, bottom).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.area import relative_area
+from repro.apps import all_benchmarks, get_benchmark
+from repro.apps.base import Benchmark
+from repro.compiler import CompilationResult, compile_program
+from repro.config import BASELINE, CompileConfig
+from repro.sim.metrics import SimulationResult, speedup
+from repro.sim.model import PerformanceModel
+from repro.target.device import DEFAULT_BOARD, Board
+
+__all__ = ["BenchmarkResult", "Figure7Report", "run_benchmark", "run_figure7", "PAPER_FIGURE7"]
+
+
+# The numbers reported in the paper's Figure 7 (speedup over the baseline).
+PAPER_FIGURE7: Dict[str, Dict[str, float]] = {
+    "outerprod": {"tiling": 1.1, "tiling+metapipelining": 1.1},
+    "sumrows": {"tiling": 6.5, "tiling+metapipelining": 11.5},
+    "gemm": {"tiling": 4.1, "tiling+metapipelining": 6.3},
+    "tpchq6": {"tiling": 1.6, "tiling+metapipelining": 2.0},
+    "gda": {"tiling": 13.4, "tiling+metapipelining": 39.4},
+    "kmeans": {"tiling": 15.5, "tiling+metapipelining": 19.7},
+}
+
+
+@dataclass
+class ConfigResult:
+    """Compilation + simulation outcome for one configuration of one benchmark."""
+
+    label: str
+    compilation: CompilationResult
+    simulation: SimulationResult
+    relative_resources: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class BenchmarkResult:
+    """All three configurations of one benchmark."""
+
+    name: str
+    sizes: Dict[str, int]
+    baseline: ConfigResult
+    tiling: ConfigResult
+    metapipelining: ConfigResult
+
+    @property
+    def speedup_tiling(self) -> float:
+        return speedup(self.baseline.simulation, self.tiling.simulation)
+
+    @property
+    def speedup_metapipelining(self) -> float:
+        return speedup(self.baseline.simulation, self.metapipelining.simulation)
+
+    def speedups(self) -> Dict[str, float]:
+        return {
+            "tiling": self.speedup_tiling,
+            "tiling+metapipelining": self.speedup_metapipelining,
+        }
+
+
+@dataclass
+class Figure7Report:
+    """The full figure: one row per benchmark."""
+
+    results: List[BenchmarkResult] = field(default_factory=list)
+
+    def result(self, name: str) -> BenchmarkResult:
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError(name)
+
+    def speedup_table(self) -> str:
+        header = (
+            f"{'benchmark':<10} {'+tiling':>10} {'+tiling+meta':>14}"
+            f" {'paper +tiling':>14} {'paper +meta':>12}"
+        )
+        lines = [header, "-" * len(header)]
+        for result in self.results:
+            paper = PAPER_FIGURE7.get(result.name, {})
+            lines.append(
+                f"{result.name:<10} {result.speedup_tiling:>10.1f} "
+                f"{result.speedup_metapipelining:>14.1f} "
+                f"{paper.get('tiling', float('nan')):>14.1f} "
+                f"{paper.get('tiling+metapipelining', float('nan')):>12.1f}"
+            )
+        return "\n".join(lines)
+
+    def resource_table(self) -> str:
+        header = f"{'benchmark':<10} {'config':<24} {'logic':>8} {'FF':>8} {'mem':>8}"
+        lines = [header, "-" * len(header)]
+        for result in self.results:
+            for config_result in (result.tiling, result.metapipelining):
+                rel = config_result.relative_resources
+                lines.append(
+                    f"{result.name:<10} {config_result.label:<24} "
+                    f"{rel.get('logic', 1.0):>8.2f} {rel.get('FF', 1.0):>8.2f} {rel.get('mem', 1.0):>8.2f}"
+                )
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {result.name: result.speedups() for result in self.results}
+
+
+def _configs_for(bench: Benchmark) -> Dict[str, CompileConfig]:
+    tiles = dict(bench.tile_sizes)
+    pars = dict(bench.par_factors)
+    return {
+        "baseline": BASELINE,
+        "tiling": CompileConfig(tiling=True, tile_sizes=tiles, par_factors=pars),
+        "tiling+metapipelining": CompileConfig(
+            tiling=True, metapipelining=True, tile_sizes=tiles, par_factors=pars
+        ),
+    }
+
+
+def run_benchmark(
+    name: str,
+    sizes: Optional[Mapping[str, int]] = None,
+    board: Board = DEFAULT_BOARD,
+    model: Optional[PerformanceModel] = None,
+    par: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> BenchmarkResult:
+    """Compile and simulate all three configurations of one benchmark."""
+    bench = get_benchmark(name)
+    sizes = dict(sizes or bench.default_sizes)
+    bindings = bench.bindings(sizes, rng or np.random.default_rng(3))
+    program = bench.build()
+    par = par or bench.par_factors.get("inner", 16)
+
+    configs = _configs_for(bench)
+    results: Dict[str, ConfigResult] = {}
+    for label, config in configs.items():
+        compilation = compile_program(program, config, bindings, board=board, par=par)
+        simulation = compilation.simulate(model)
+        results[label] = ConfigResult(label=label, compilation=compilation, simulation=simulation)
+
+    baseline_area = results["baseline"].compilation.area
+    for label in ("tiling", "tiling+metapipelining"):
+        results[label].relative_resources = relative_area(
+            baseline_area, results[label].compilation.area
+        )
+
+    return BenchmarkResult(
+        name=name,
+        sizes=sizes,
+        baseline=results["baseline"],
+        tiling=results["tiling"],
+        metapipelining=results["tiling+metapipelining"],
+    )
+
+
+def run_figure7(
+    benchmarks: Optional[Sequence[str]] = None,
+    board: Board = DEFAULT_BOARD,
+    model: Optional[PerformanceModel] = None,
+    sizes_override: Optional[Mapping[str, Mapping[str, int]]] = None,
+) -> Figure7Report:
+    """Reproduce Figure 7 across the benchmark suite."""
+    names = list(benchmarks) if benchmarks else [bench.name for bench in all_benchmarks()]
+    report = Figure7Report()
+    for name in names:
+        sizes = (sizes_override or {}).get(name)
+        report.results.append(run_benchmark(name, sizes=sizes, board=board, model=model))
+    return report

@@ -1,0 +1,44 @@
+"""Hardware templates (Table 4) and the IR → template-graph generator (Section 5)."""
+
+from repro.hw.controllers import (
+    Controller,
+    MetapipelineController,
+    ParallelController,
+    SequentialController,
+)
+from repro.hw.design import HardwareDesign
+from repro.hw.generation import HardwareGenerator, generate_hardware
+from repro.hw.templates import (
+    CAM,
+    Buffer,
+    Cache,
+    HardwareModule,
+    MainMemoryStream,
+    ParallelFIFO,
+    ReductionTree,
+    ScalarPipe,
+    TileLoad,
+    TileStore,
+    VectorUnit,
+)
+
+__all__ = [
+    "Controller",
+    "MetapipelineController",
+    "ParallelController",
+    "SequentialController",
+    "HardwareDesign",
+    "HardwareGenerator",
+    "generate_hardware",
+    "Buffer",
+    "Cache",
+    "CAM",
+    "HardwareModule",
+    "MainMemoryStream",
+    "ParallelFIFO",
+    "ReductionTree",
+    "ScalarPipe",
+    "TileLoad",
+    "TileStore",
+    "VectorUnit",
+]

@@ -1,0 +1,68 @@
+"""State-machine controllers (the third group of Table 4).
+
+Controllers coordinate the execution of the templates in
+:mod:`repro.hw.templates`:
+
+* :class:`SequentialController` — runs its stages one after another, repeated
+  ``iterations`` times (a tile loop without metapipelining, or the top-level
+  sequence of steps in Figure 6).
+* :class:`ParallelController` — starts all members simultaneously and
+  finishes when all members finish (independent IR nodes; also used to model
+  the baseline's overlap of streaming loads with compute).
+* :class:`MetapipelineController` — the paper's hierarchical pipeline: stages
+  execute in pipelined fashion across iterations, so steady-state throughput
+  is set by the slowest stage while double buffers decouple the stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.hw.templates import HardwareModule
+
+__all__ = [
+    "Controller",
+    "SequentialController",
+    "ParallelController",
+    "MetapipelineController",
+]
+
+
+@dataclass
+class Controller(HardwareModule):
+    """Base class of controllers: owns an ordered list of child modules."""
+
+    stages: List[HardwareModule] = field(default_factory=list)
+    iterations: int = 1
+
+    def children(self) -> List[HardwareModule]:
+        return list(self.stages)
+
+    def add(self, stage: HardwareModule) -> HardwareModule:
+        self.stages.append(stage)
+        return stage
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+
+@dataclass
+class SequentialController(Controller):
+    """Coordinates strictly sequential execution of its stages."""
+
+
+@dataclass
+class ParallelController(Controller):
+    """Starts all members simultaneously; done when every member is done."""
+
+
+@dataclass
+class MetapipelineController(Controller):
+    """Coordinates nested parallel patterns in pipelined fashion.
+
+    Stage *i* of iteration *t* runs concurrently with stage *i+1* of iteration
+    *t-1*; every buffer written by one stage and read by the next must be a
+    double buffer (handled by the memory-allocation pass).
+    """

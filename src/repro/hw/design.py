@@ -1,0 +1,85 @@
+"""The hardware design graph produced by template selection."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.config import CompileConfig
+from repro.hw.controllers import Controller
+from repro.hw.templates import Buffer, HardwareModule
+from repro.target.device import Board, DEFAULT_BOARD
+
+__all__ = ["HardwareDesign"]
+
+
+@dataclass
+class HardwareDesign:
+    """A complete accelerator design: controller hierarchy plus memories.
+
+    ``top`` is the root controller (the sequence of steps in Figure 6);
+    ``memories`` are the on-chip buffers / caches / CAMs / FIFOs allocated by
+    the memory-allocation pass.  ``output_bytes`` is the size of the result
+    written back to main memory (used by the store-timing model) and
+    ``main_memory_read_bytes`` the total DRAM read traffic of the design.
+    """
+
+    name: str
+    program_name: str
+    config: CompileConfig
+    top: Controller
+    memories: List[HardwareModule] = field(default_factory=list)
+    board: Board = DEFAULT_BOARD
+    output_bytes: int = 0
+    main_memory_read_bytes: int = 0
+    main_memory_write_bytes: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    # -- structure ----------------------------------------------------------
+    def all_modules(self) -> List[HardwareModule]:
+        return list(self.top.walk()) + list(self.memories)
+
+    def modules_of(self, kind: type) -> List[HardwareModule]:
+        return [m for m in self.all_modules() if isinstance(m, kind)]
+
+    def count_by_kind(self) -> Dict[str, int]:
+        return dict(Counter(m.kind for m in self.all_modules()))
+
+    def template_inventory(self) -> Dict[str, int]:
+        """Template usage excluding controllers (the Table 4 leaf templates)."""
+        counts = self.count_by_kind()
+        return {
+            kind: count
+            for kind, count in sorted(counts.items())
+            if not kind.endswith("Controller")
+        }
+
+    @property
+    def double_buffers(self) -> List[Buffer]:
+        return [m for m in self.memories if isinstance(m, Buffer) and m.double]
+
+    @property
+    def on_chip_bits(self) -> int:
+        return sum(getattr(m, "capacity_bits", 0) for m in self.memories)
+
+    def summary(self) -> str:
+        lines = [
+            f"design {self.name} ({self.config.label})",
+            f"  program:          {self.program_name}",
+            f"  DRAM reads:       {self.main_memory_read_bytes / 1e6:.2f} MB",
+            f"  DRAM writes:      {self.main_memory_write_bytes / 1e6:.2f} MB",
+            f"  on-chip memory:   {self.on_chip_bits / 8 / 1024:.1f} KiB",
+        ]
+        lines.append("  templates:")
+        for kind, count in self.template_inventory().items():
+            lines.append(f"    {kind:<18} x{count}")
+        controllers = {
+            kind: count for kind, count in self.count_by_kind().items() if kind.endswith("Controller")
+        }
+        lines.append("  controllers:")
+        for kind, count in sorted(controllers.items()):
+            lines.append(f"    {kind:<18} x{count}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)

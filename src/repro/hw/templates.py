@@ -1,0 +1,225 @@
+"""Parameterisable hardware templates (Table 4).
+
+Each template captures one kind of hardware functionality and is instantiated
+with the parameters of the parallel pattern or memory it implements:
+
+=================  =======================================================
+Template           IR construct (Table 4)
+=================  =======================================================
+Buffer             statically sized array (tile copies, preloaded inputs)
+DoubleBuffer       buffer coupling two metapipeline stages (``double=True``)
+Cache              non-affine accesses to main memory
+VectorUnit         Map over scalars (SIMD parallelism)
+ReductionTree      MultiFold over scalars
+ParallelFIFO       FlatMap over scalars (dynamically sized ordered output)
+CAM                GroupByFold over scalars
+TileLoad/TileStore transformer-inserted array copies (tile memory commands)
+MainMemoryStream   baseline (untiled) streaming access to DRAM
+ScalarPipe         straight-line scalar arithmetic feeding a pattern
+=================  =======================================================
+
+Templates are pure parameter records: the area model
+(:mod:`repro.analysis.area`) converts them into resource estimates, the MaxJ
+code generator (:mod:`repro.codegen.maxj`) renders them as HGL classes, and
+the simulator (:mod:`repro.sim`) assigns them cycle counts.  Controllers
+(sequential / parallel / metapipeline, Table 4's third group) live in
+:mod:`repro.hw.controllers`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = [
+    "HardwareModule",
+    "Buffer",
+    "Cache",
+    "CAM",
+    "VectorUnit",
+    "ReductionTree",
+    "ParallelFIFO",
+    "ScalarPipe",
+    "TileLoad",
+    "TileStore",
+    "MainMemoryStream",
+]
+
+_MODULE_IDS = itertools.count()
+
+
+@dataclass
+class HardwareModule:
+    """Base class of every node in the hardware design graph."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        self.module_id = next(_MODULE_IDS)
+
+    def children(self) -> List["HardwareModule"]:
+        return []
+
+    def walk(self):
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+# ---------------------------------------------------------------------------
+# Memories
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Buffer(HardwareModule):
+    """On-chip scratchpad memory holding a statically sized array.
+
+    ``double=True`` marks a double buffer coupling two metapipeline stages
+    (required to avoid write-after-read hazards between stages).  ``banks``
+    reflects banking for parallel access by a vector unit.
+    """
+
+    depth_words: int = 0
+    width_bits: int = 32
+    banks: int = 1
+    double: bool = False
+    source: str = ""  # the array / tile this buffer holds
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.depth_words * self.width_bits * (2 if self.double else 1)
+
+
+@dataclass
+class Cache(HardwareModule):
+    """Tagged on-chip memory serving non-affine (data dependent) accesses."""
+
+    capacity_words: int = 4096
+    width_bits: int = 32
+    line_words: int = 16
+    source: str = ""
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.capacity_words * self.width_bits
+
+
+@dataclass
+class CAM(HardwareModule):
+    """Fully associative key-value store implementing a GroupByFold."""
+
+    entries: int = 256
+    key_bits: int = 32
+    value_bits: int = 32
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.entries * (self.key_bits + self.value_bits)
+
+
+# ---------------------------------------------------------------------------
+# Pipelined execution units
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VectorUnit(HardwareModule):
+    """SIMD pipeline implementing a Map over scalars."""
+
+    lanes: int = 16
+    elements: int = 0  # elements processed per invocation
+    ops_per_element: float = 1.0
+    width_bits: int = 32
+    pipeline_depth: int = 16
+
+
+@dataclass
+class ReductionTree(HardwareModule):
+    """Parallel reduction of an associative operator (MultiFold over scalars)."""
+
+    lanes: int = 16
+    elements: int = 0
+    ops_per_element: float = 1.0
+    width_bits: int = 32
+    pipeline_depth: int = 24
+
+    @property
+    def tree_depth(self) -> int:
+        depth = 0
+        lanes = max(1, self.lanes)
+        while lanes > 1:
+            lanes //= 2
+            depth += 1
+        return depth
+
+
+@dataclass
+class ParallelFIFO(HardwareModule):
+    """Buffers the ordered, dynamically sized output of a FlatMap."""
+
+    lanes: int = 16
+    elements: int = 0
+    width_bits: int = 32
+    depth_words: int = 512
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.depth_words * self.width_bits
+
+
+@dataclass
+class ScalarPipe(HardwareModule):
+    """Straight-line scalar arithmetic (address math, per-element glue logic)."""
+
+    elements: int = 0
+    ops_per_element: float = 1.0
+    width_bits: int = 32
+    pipeline_depth: int = 8
+
+
+# ---------------------------------------------------------------------------
+# Memory command generators
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TileLoad(HardwareModule):
+    """Fetches one tile of data from off-chip memory into an on-chip buffer."""
+
+    bytes_per_invocation: int = 0
+    sequential: bool = True
+    source: str = ""
+    destination: str = ""
+
+
+@dataclass
+class TileStore(HardwareModule):
+    """Writes one tile of results back to off-chip memory."""
+
+    bytes_per_invocation: int = 0
+    sequential: bool = True
+    source: str = ""
+    destination: str = ""
+
+
+@dataclass
+class MainMemoryStream(HardwareModule):
+    """Baseline streaming access to DRAM without tiling.
+
+    ``total_bytes`` is the total traffic of the stream including re-reads (the
+    baseline exploits locality only within a single DRAM burst), ``requests``
+    the number of separate command streams issued (one per innermost pattern
+    instance), and ``sequential`` whether the stream is unit-stride (burst
+    friendly) or strided/random (each access pays a full burst).
+    """
+
+    total_bytes: int = 0
+    requests: int = 1
+    sequential: bool = True
+    source: str = ""

@@ -1,0 +1,40 @@
+"""The parallel pattern language (PPL): types, IR, builder, interpreter, printer."""
+
+from repro.ppl import builder, ir, types
+from repro.ppl.interp import Interpreter, evaluate, run_program
+from repro.ppl.printer import pretty, pretty_program
+from repro.ppl.program import Program
+from repro.ppl.traversal import (
+    Transformer,
+    Visitor,
+    collect,
+    count_nodes,
+    find_patterns,
+    free_syms,
+    pattern_depth,
+    structurally_equal,
+    substitute,
+    walk,
+)
+
+__all__ = [
+    "builder",
+    "ir",
+    "types",
+    "Interpreter",
+    "evaluate",
+    "run_program",
+    "pretty",
+    "pretty_program",
+    "Program",
+    "Transformer",
+    "Visitor",
+    "collect",
+    "count_nodes",
+    "find_patterns",
+    "free_syms",
+    "pattern_depth",
+    "structurally_equal",
+    "substitute",
+    "walk",
+]

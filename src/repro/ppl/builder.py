@@ -1,0 +1,399 @@
+"""Convenience constructors for building PPL IR.
+
+These helpers keep the application definitions (``repro.apps``) and the
+transformation passes readable: they create fresh symbols, perform trivial
+constant folding on index arithmetic (so tiled programs print cleanly), and
+provide the ``fold`` special case of ``MultiFold`` used throughout the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+from repro.errors import IRError
+from repro.ppl.ir import (
+    ArrayApply,
+    ArrayCopy,
+    ArrayDim,
+    ArraySlice,
+    BinOp,
+    Cmp,
+    Const,
+    Domain,
+    Expr,
+    FlatMap,
+    GroupByFold,
+    Lambda,
+    Let,
+    MakeTuple,
+    Map,
+    MultiFold,
+    Select,
+    Sym,
+    TupleGet,
+    UnaryOp,
+    Zeros,
+)
+from repro.ppl.types import FLOAT32, INDEX, ScalarType, TensorType, TupleType, Type
+from repro.utils.naming import fresh_name
+
+__all__ = [
+    "sym",
+    "index_sym",
+    "array_sym",
+    "size_sym",
+    "const",
+    "idx",
+    "flt",
+    "lam",
+    "let",
+    "let_in",
+    "domain",
+    "pmap",
+    "multi_fold",
+    "fold",
+    "flat_map",
+    "group_by_fold",
+    "zeros",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "mod",
+    "minimum",
+    "maximum",
+    "cmp_lt",
+    "select",
+    "tup",
+    "tget",
+    "apply_array",
+    "slice_row",
+    "slice_col",
+    "copy_tile",
+    "dim",
+    "square",
+    "MAX_FLOAT",
+]
+
+ExprLike = Union[Expr, int, float, bool]
+
+MAX_FLOAT = Const(3.4e38, FLOAT32)
+
+
+# ---------------------------------------------------------------------------
+# Symbols and constants
+# ---------------------------------------------------------------------------
+
+
+def sym(name: str, ty: Type) -> Sym:
+    """A fresh symbol with a readable, unique name."""
+    return Sym(fresh_name(name), ty)
+
+
+def index_sym(name: str = "i") -> Sym:
+    return sym(name, INDEX)
+
+
+def array_sym(name: str, rank: int, element: Type = FLOAT32) -> Sym:
+    """A symbol naming an input array of the given rank.
+
+    Input names are program-level identifiers (used in bindings and tile-size
+    configuration), so they are *not* uniquified.
+    """
+    return Sym(name, TensorType(element, rank))
+
+
+def size_sym(name: str) -> Sym:
+    """A symbol naming a program size parameter (``n``, ``k``, ``d``, …).
+
+    Size names are the keys of :attr:`CompileConfig.tile_sizes`, so like input
+    names they are kept stable rather than uniquified.
+    """
+    return Sym(name, INDEX)
+
+
+def const(value, ty: Optional[Type] = None) -> Const:
+    return Const(value, ty)
+
+
+def idx(value: int) -> Const:
+    return Const(int(value), INDEX)
+
+
+def flt(value: float) -> Const:
+    return Const(float(value), FLOAT32)
+
+
+def _as(value: ExprLike) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        from repro.ppl.types import BOOL
+
+        return Const(value, BOOL)
+    if isinstance(value, int):
+        return Const(value, INDEX)
+    if isinstance(value, float):
+        return Const(value, FLOAT32)
+    raise IRError(f"cannot convert {value!r} to an expression")
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic with light constant folding
+# ---------------------------------------------------------------------------
+
+
+def _const_value(expr: Expr) -> Optional[Union[int, float]]:
+    if isinstance(expr, Const) and isinstance(expr.value, (int, float)) and not isinstance(
+        expr.value, bool
+    ):
+        return expr.value
+    return None
+
+
+def add(a: ExprLike, b: ExprLike) -> Expr:
+    a, b = _as(a), _as(b)
+    av, bv = _const_value(a), _const_value(b)
+    if av == 0:
+        return b
+    if bv == 0:
+        return a
+    if av is not None and bv is not None:
+        return Const(av + bv, a.ty if isinstance(a.ty, ScalarType) and a.ty.is_float else b.ty)
+    return BinOp("+", a, b)
+
+
+def sub(a: ExprLike, b: ExprLike) -> Expr:
+    a, b = _as(a), _as(b)
+    av, bv = _const_value(a), _const_value(b)
+    if bv == 0:
+        return a
+    if av is not None and bv is not None:
+        return Const(av - bv, a.ty)
+    return BinOp("-", a, b)
+
+
+def mul(a: ExprLike, b: ExprLike) -> Expr:
+    a, b = _as(a), _as(b)
+    av, bv = _const_value(a), _const_value(b)
+    if av == 1:
+        return b
+    if bv == 1:
+        return a
+    if av == 0 or bv == 0:
+        return Const(0, a.ty if av == 0 else b.ty)
+    if av is not None and bv is not None:
+        return Const(av * bv, a.ty)
+    return BinOp("*", a, b)
+
+
+def div(a: ExprLike, b: ExprLike) -> Expr:
+    a, b = _as(a), _as(b)
+    bv = _const_value(b)
+    if bv == 1:
+        return a
+    av = _const_value(a)
+    if av is not None and bv is not None:
+        if isinstance(a.ty, ScalarType) and a.ty.is_int:
+            return Const(av // bv, a.ty)
+        return Const(av / bv, a.ty)
+    return BinOp("/", a, b)
+
+
+def mod(a: ExprLike, b: ExprLike) -> Expr:
+    return BinOp("%", _as(a), _as(b))
+
+
+def minimum(a: ExprLike, b: ExprLike) -> Expr:
+    return BinOp("min", _as(a), _as(b))
+
+
+def maximum(a: ExprLike, b: ExprLike) -> Expr:
+    return BinOp("max", _as(a), _as(b))
+
+
+def cmp_lt(a: ExprLike, b: ExprLike) -> Expr:
+    return Cmp("<", _as(a), _as(b))
+
+
+def select(cond: Expr, if_true: ExprLike, if_false: ExprLike) -> Expr:
+    return Select(cond, _as(if_true), _as(if_false))
+
+
+def square(x: ExprLike) -> Expr:
+    x = _as(x)
+    return mul(x, x)
+
+
+def tup(*elements: ExprLike) -> MakeTuple:
+    return MakeTuple(tuple(_as(e) for e in elements))
+
+
+def tget(t: Expr, index: int) -> Expr:
+    return TupleGet(t, index)
+
+
+# ---------------------------------------------------------------------------
+# Arrays
+# ---------------------------------------------------------------------------
+
+
+def apply_array(array: Expr, *indices: ExprLike) -> ArrayApply:
+    return ArrayApply(array, tuple(_as(i) for i in indices))
+
+
+def slice_row(array: Expr, row: ExprLike) -> ArraySlice:
+    """``x.slice(i, *)`` — row ``i`` of a 2-D array."""
+    return ArraySlice(array, (_as(row), None))
+
+
+def slice_col(array: Expr, col: ExprLike) -> ArraySlice:
+    """``x.slice(*, j)`` — column ``j`` of a 2-D array."""
+    return ArraySlice(array, (None, _as(col)))
+
+
+def copy_tile(
+    array: Expr,
+    offsets: Sequence[ExprLike],
+    sizes: Sequence[Optional[ExprLike]],
+    reuse: int = 1,
+) -> ArrayCopy:
+    return ArrayCopy(
+        array,
+        tuple(_as(o) for o in offsets),
+        tuple(None if s is None else _as(s) for s in sizes),
+        reuse=reuse,
+    )
+
+
+def dim(array: Expr, axis: int = 0) -> ArrayDim:
+    return ArrayDim(array, axis)
+
+
+def zeros(shape: Sequence[ExprLike], element: Type = FLOAT32) -> Zeros:
+    return Zeros(tuple(_as(s) for s in shape), element)
+
+
+# ---------------------------------------------------------------------------
+# Functions, domains and patterns
+# ---------------------------------------------------------------------------
+
+
+def lam(params: Sequence[Sym], body: Expr) -> Lambda:
+    return Lambda(tuple(params), body)
+
+
+def let(name: str, value: Expr, body_builder: Callable[[Sym], Expr]) -> Let:
+    """``name = value; body`` — ``body_builder`` receives the bound symbol."""
+    bound = sym(name, value.ty)
+    return Let(bound, value, body_builder(bound))
+
+
+def let_in(bound: Sym, value: Expr, body: Expr) -> Let:
+    """Let with an existing symbol (used by the transformation passes)."""
+    return Let(bound, value, body)
+
+
+def fn(
+    param_names: Sequence[str],
+    builder: Callable[..., Expr],
+    tys: Optional[Sequence[Type]] = None,
+) -> Lambda:
+    """Build a lambda by invoking ``builder`` with fresh symbols."""
+    tys = tys or [INDEX] * len(param_names)
+    params = [sym(name, ty) for name, ty in zip(param_names, tys)]
+    return Lambda(tuple(params), builder(*params))
+
+
+def domain(*dims: ExprLike, strides: Optional[Sequence[ExprLike]] = None) -> Domain:
+    stride_exprs = None if strides is None else tuple(_as(s) for s in strides)
+    return Domain(tuple(_as(d) for d in dims), stride_exprs)
+
+
+def pmap(dom: Domain, builder: Callable[..., Expr], index_names: Optional[Sequence[str]] = None) -> Map:
+    """``map(d){ i => ... }`` — builder receives one index symbol per dimension."""
+    names = index_names or _default_index_names(dom.rank)
+    params = [index_sym(n) for n in names]
+    return Map(dom, Lambda(tuple(params), builder(*params)))
+
+
+def multi_fold(
+    dom: Domain,
+    rshape: Sequence[ExprLike],
+    init: Expr,
+    index_builder: Callable[..., Expr],
+    value_builder: Callable[..., Expr],
+    combine: Optional[Lambda],
+    index_names: Optional[Sequence[str]] = None,
+    acc_ty: Optional[Type] = None,
+) -> MultiFold:
+    """``multiFold(d)(r)(z){ i => (loc, acc => v) }{ c }``.
+
+    ``value_builder`` receives the index symbols followed by the accumulator
+    slice symbol.
+    """
+    names = index_names or _default_index_names(dom.rank)
+    params = [index_sym(n) for n in names]
+    rshape_exprs = tuple(_as(r) for r in rshape)
+    if acc_ty is None:
+        acc_ty = init.ty if not rshape_exprs else init.ty
+    acc = sym("acc", acc_ty)
+    index_func = Lambda(tuple(params), index_builder(*params))
+    value_func = Lambda(tuple(params) + (acc,), value_builder(*(params + [acc])))
+    return MultiFold(dom, rshape_exprs, init, index_func, value_func, combine)
+
+
+def fold(
+    dom: Domain,
+    init: Expr,
+    value_builder: Callable[..., Expr],
+    combine: Optional[Lambda] = None,
+    index_names: Optional[Sequence[str]] = None,
+) -> MultiFold:
+    """The classic fold: a :class:`MultiFold` whose accumulator is the whole output.
+
+    ``value_builder(indices..., acc)`` returns the updated accumulator.
+    """
+    names = index_names or _default_index_names(dom.rank)
+    params = [index_sym(n) for n in names]
+    acc = sym("acc", init.ty)
+    zero_loc = MakeTuple(tuple(idx(0) for _ in range(dom.rank))) if dom.rank > 1 else idx(0)
+    index_func = Lambda(tuple(params), zero_loc)
+    value_func = Lambda(tuple(params) + (acc,), value_builder(*(params + [acc])))
+    if combine is None:
+        a = sym("a", init.ty)
+        b = sym("b", init.ty)
+        combine = Lambda((a, b), BinOp("+", a, b))
+    return MultiFold(dom, (), init, index_func, value_func, combine)
+
+
+def flat_map(dom: Domain, builder: Callable[[Sym], Expr], index_name: str = "i") -> FlatMap:
+    param = index_sym(index_name)
+    return FlatMap(dom, Lambda((param,), builder(param)))
+
+
+def group_by_fold(
+    dom: Domain,
+    init: Expr,
+    key_builder: Callable[[Sym], Expr],
+    value_builder: Callable[[Sym, Sym], Expr],
+    combine: Optional[Lambda] = None,
+    index_name: str = "i",
+) -> GroupByFold:
+    param = index_sym(index_name)
+    acc = sym("acc", init.ty)
+    key_param = index_sym(index_name)
+    key_func = Lambda((key_param,), key_builder(key_param))
+    value_func = Lambda((param, acc), value_builder(param, acc))
+    if combine is None:
+        a = sym("a", init.ty)
+        b = sym("b", init.ty)
+        combine = Lambda((a, b), BinOp("+", a, b))
+    return GroupByFold(dom, init, key_func, value_func, combine)
+
+
+def _default_index_names(rank: int) -> list[str]:
+    base = ["i", "j", "k", "l", "m", "n"]
+    if rank <= len(base):
+        return base[:rank]
+    return [f"i{axis}" for axis in range(rank)]

@@ -1,0 +1,259 @@
+"""Pretty printer producing paper-style PPL text.
+
+The printer renders IR trees in the notation of Figure 4 / Table 2 of the
+paper, e.g.::
+
+    multiFold(n/b0)((k,d),k)(zeros){ ii =>
+      pt1Tile = points.copy(b0 + ii, *)
+      ...
+    }{ (a,b) => ... }
+
+It is used by the tests that check the Table 1-3 transformation examples, by
+``examples/`` scripts, and for debugging.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ppl.ir import (
+    ArrayApply,
+    ArrayCopy,
+    ArrayDim,
+    ArrayLit,
+    ArraySlice,
+    BinOp,
+    Cmp,
+    Const,
+    Domain,
+    EmptyArray,
+    Expr,
+    FlatMap,
+    Full,
+    GroupByFold,
+    Lambda,
+    Let,
+    MakeTuple,
+    Map,
+    MultiFold,
+    Node,
+    Select,
+    Sym,
+    TupleGet,
+    UnaryOp,
+    Zeros,
+)
+from repro.ppl.program import Program
+
+__all__ = ["PrettyPrinter", "pretty", "pretty_program"]
+
+_INDENT = "  "
+
+
+class PrettyPrinter:
+    """Renders IR nodes as indented PPL pseudo-code."""
+
+    def __init__(self, indent: str = _INDENT) -> None:
+        self.indent = indent
+
+    # -- entry points --------------------------------------------------------
+    def format(self, node: Node, level: int = 0) -> str:
+        return self._fmt(node, level)
+
+    def format_program(self, program: Program) -> str:
+        lines = [f"// program {program.name}"]
+        for array in program.inputs:
+            lines.append(f"{array.name}: {array.ty!r}")
+        sizes = ", ".join(s.name for s in program.sizes)
+        if sizes:
+            lines.append(f"// sizes: {sizes}")
+        lines.append(self._fmt(program.body, 0))
+        return "\n".join(lines)
+
+    # -- dispatch --------------------------------------------------------------
+    def _fmt(self, node: Node, level: int) -> str:
+        method = getattr(self, f"_fmt_{type(node).__name__}", None)
+        if method is None:
+            return repr(node)
+        return method(node, level)
+
+    def _pad(self, level: int) -> str:
+        return self.indent * level
+
+    # -- scalars ----------------------------------------------------------------
+    def _fmt_Const(self, node: Const, level: int) -> str:
+        if isinstance(node.value, float) and node.value > 1e37:
+            return "max"
+        return str(node.value)
+
+    def _fmt_Sym(self, node: Sym, level: int) -> str:
+        return node.name
+
+    def _fmt_BinOp(self, node: BinOp, level: int) -> str:
+        if node.op in ("min", "max"):
+            return f"{node.op}({self._fmt(node.lhs, level)}, {self._fmt(node.rhs, level)})"
+        return f"({self._fmt(node.lhs, level)} {node.op} {self._fmt(node.rhs, level)})"
+
+    def _fmt_UnaryOp(self, node: UnaryOp, level: int) -> str:
+        if node.op == "neg":
+            return f"(-{self._fmt(node.operand, level)})"
+        return f"{node.op}({self._fmt(node.operand, level)})"
+
+    def _fmt_Cmp(self, node: Cmp, level: int) -> str:
+        return f"({self._fmt(node.lhs, level)} {node.op} {self._fmt(node.rhs, level)})"
+
+    def _fmt_Select(self, node: Select, level: int) -> str:
+        return (
+            f"if {self._fmt(node.cond, level)} "
+            f"then {self._fmt(node.if_true, level)} "
+            f"else {self._fmt(node.if_false, level)}"
+        )
+
+    def _fmt_Let(self, node: Let, level: int) -> str:
+        value = self._fmt(node.value, level)
+        body = self._fmt(node.body, level)
+        return f"{node.sym.name} = {value}\n{self._pad(level)}{body}"
+
+    def _fmt_MakeTuple(self, node: MakeTuple, level: int) -> str:
+        inner = ", ".join(self._fmt(e, level) for e in node.elements)
+        return f"({inner})"
+
+    def _fmt_TupleGet(self, node: TupleGet, level: int) -> str:
+        return f"{self._fmt(node.tup, level)}._{node.index + 1}"
+
+    # -- arrays ------------------------------------------------------------------
+    def _fmt_ArrayApply(self, node: ArrayApply, level: int) -> str:
+        inner = ", ".join(self._fmt(i, level) for i in node.indices)
+        return f"{self._fmt(node.array, level)}({inner})"
+
+    def _fmt_ArraySlice(self, node: ArraySlice, level: int) -> str:
+        parts = ["*" if s is None else self._fmt(s, level) for s in node.specs]
+        return f"{self._fmt(node.array, level)}.slice({', '.join(parts)})"
+
+    def _fmt_ArrayCopy(self, node: ArrayCopy, level: int) -> str:
+        parts = []
+        for offset, size in zip(node.offsets, node.sizes):
+            if size is None:
+                parts.append("*")
+            else:
+                off = self._fmt(offset, level)
+                if off == "0":
+                    parts.append(self._fmt(size, level))
+                else:
+                    parts.append(f"{self._fmt(size, level)} + {off}")
+        suffix = f" /*reuse={node.reuse}*/" if node.reuse != 1 else ""
+        return f"{self._fmt(node.array, level)}.copy({', '.join(parts)}){suffix}"
+
+    def _fmt_ArrayDim(self, node: ArrayDim, level: int) -> str:
+        return f"{self._fmt(node.array, level)}.dim({node.axis})"
+
+    _fmt_ArrayLen = _fmt_ArrayDim
+
+    def _fmt_Zeros(self, node: Zeros, level: int) -> str:
+        shape = ", ".join(self._fmt(s, level) for s in node.shape)
+        return f"zeros({shape})"
+
+    def _fmt_Full(self, node: Full, level: int) -> str:
+        shape = ", ".join(self._fmt(s, level) for s in node.shape)
+        return f"full({shape})({self._fmt(node.fill, level)})"
+
+    def _fmt_EmptyArray(self, node: EmptyArray, level: int) -> str:
+        return "[]"
+
+    def _fmt_ArrayLit(self, node: ArrayLit, level: int) -> str:
+        inner = ", ".join(self._fmt(e, level) for e in node.elements)
+        return f"[{inner}]"
+
+    # -- functions and domains ------------------------------------------------------
+    def _params(self, func: Lambda) -> str:
+        names = ", ".join(p.name for p in func.params)
+        return f"({names})" if len(func.params) > 1 else names
+
+    def _fmt_lambda_block(self, func: Optional[Lambda], level: int) -> str:
+        if func is None:
+            return "(_)"
+        body = self._fmt(func.body, level + 1)
+        if "\n" in body or len(body) > 60:
+            return (
+                "{ "
+                + self._params(func)
+                + " =>\n"
+                + self._pad(level + 1)
+                + body
+                + "\n"
+                + self._pad(level)
+                + "}"
+            )
+        return "{ " + self._params(func) + " => " + body + " }"
+
+    def _fmt_Lambda(self, node: Lambda, level: int) -> str:
+        return self._fmt_lambda_block(node, level)
+
+    def _fmt_Domain(self, node: Domain, level: int) -> str:
+        parts = []
+        for extent, stride in zip(node.dims, node.stride_exprs):
+            text = self._fmt(extent, level)
+            if not (isinstance(stride, Const) and stride.value == 1):
+                text = f"{text}/{self._fmt(stride, level)}"
+            parts.append(text)
+        return ", ".join(parts)
+
+    # -- patterns ------------------------------------------------------------------
+    def _fmt_Map(self, node: Map, level: int) -> str:
+        return f"map({self._fmt_Domain(node.domain, level)})" + self._fmt_lambda_block(
+            node.func, level
+        )
+
+    def _fmt_MultiFold(self, node: MultiFold, level: int) -> str:
+        rng = ", ".join(self._fmt(r, level) for r in node.rshape)
+        rng_text = f"({rng})" if rng else "(1)"
+        init = self._fmt(node.init, level)
+        index_body = self._fmt(node.index_func.body, level + 1)
+        value_block = self._fmt_lambda_block(
+            Lambda(node.value_func.params[-1:], node.value_func.body), level + 1
+        )
+        params = self._params(
+            Lambda(node.value_func.params[:-1], node.value_func.body)
+        )
+        body = (
+            "{ "
+            + params
+            + " =>\n"
+            + self._pad(level + 1)
+            + f"({index_body}, acc => {self._fmt(node.value_func.body, level + 2)})"
+            + "\n"
+            + self._pad(level)
+            + "}"
+        )
+        combine = self._fmt_lambda_block(node.combine, level)
+        return (
+            f"multiFold({self._fmt_Domain(node.domain, level)})"
+            f"({rng_text})({init})" + body + combine
+        )
+
+    def _fmt_FlatMap(self, node: FlatMap, level: int) -> str:
+        return f"flatMap({self._fmt_Domain(node.domain, level)})" + self._fmt_lambda_block(
+            node.func, level
+        )
+
+    def _fmt_GroupByFold(self, node: GroupByFold, level: int) -> str:
+        init = self._fmt(node.init, level)
+        key = self._fmt_lambda_block(node.key_func, level)
+        value = self._fmt_lambda_block(node.value_func, level)
+        combine = self._fmt_lambda_block(node.combine, level)
+        return (
+            f"groupByFold({self._fmt_Domain(node.domain, level)})({init})"
+            + key
+            + value
+            + combine
+        )
+
+
+def pretty(node: Node) -> str:
+    """Render a node as PPL pseudo-code."""
+    return PrettyPrinter().format(node)
+
+
+def pretty_program(program: Program) -> str:
+    """Render a whole program as PPL pseudo-code."""
+    return PrettyPrinter().format_program(program)

@@ -1,0 +1,224 @@
+"""Type system for the parallel pattern language (PPL).
+
+The paper's IR (Figure 2) distinguishes scalar values ``V`` (which may be a
+scalar or a structure of scalars), multidimensional arrays ``V^R`` of arity
+``R``, and index values.  This module mirrors that with three kinds of types:
+
+* :class:`ScalarType` — fixed-width numeric / boolean / index scalars.
+* :class:`TupleType` — a structure of scalar-or-tensor fields (used e.g. for
+  the ``(distance, index)`` pairs in k-means).
+* :class:`TensorType` — a dense multidimensional array of a scalar or tuple
+  element type with a fixed arity.  Nested arrays are intentionally not
+  representable, matching the paper ("we currently do not allow nested
+  arrays, only multidimensional arrays").
+
+Types carry bit widths so the hardware generation stages can size buffers,
+vector lanes and DRAM transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from repro.errors import IRError
+
+__all__ = [
+    "Type",
+    "ScalarType",
+    "TupleType",
+    "TensorType",
+    "FLOAT32",
+    "FLOAT64",
+    "INT32",
+    "INT64",
+    "BOOL",
+    "INDEX",
+    "tensor",
+    "tuple_of",
+    "is_scalar",
+    "is_tensor",
+    "is_tuple",
+    "common_type",
+    "element_type",
+    "bit_width",
+]
+
+
+class Type:
+    """Base class of all PPL types."""
+
+    @property
+    def bits(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def bytes(self) -> int:
+        return (self.bits + 7) // 8
+
+
+@dataclass(frozen=True)
+class ScalarType(Type):
+    """A scalar value type.
+
+    ``kind`` is one of ``"float"``, ``"int"``, ``"bool"`` or ``"index"``.
+    """
+
+    name: str
+    kind: str
+    width: int
+
+    @property
+    def bits(self) -> int:
+        return self.width
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind == "float"
+
+    @property
+    def is_int(self) -> bool:
+        return self.kind in ("int", "index")
+
+    @property
+    def is_bool(self) -> bool:
+        return self.kind == "bool"
+
+    @property
+    def is_index(self) -> bool:
+        return self.kind == "index"
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+FLOAT32 = ScalarType("Float32", "float", 32)
+FLOAT64 = ScalarType("Float64", "float", 64)
+INT32 = ScalarType("Int32", "int", 32)
+INT64 = ScalarType("Int64", "int", 64)
+BOOL = ScalarType("Bool", "bool", 1)
+INDEX = ScalarType("Index", "index", 32)
+
+
+@dataclass(frozen=True)
+class TupleType(Type):
+    """A structure of scalar (or tensor) fields."""
+
+    fields: tuple[Type, ...]
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise IRError("TupleType requires at least one field")
+
+    @property
+    def bits(self) -> int:
+        return sum(f.bits for f in self.fields)
+
+    @property
+    def arity(self) -> int:
+        return len(self.fields)
+
+    def field(self, index: int) -> Type:
+        if not 0 <= index < len(self.fields):
+            raise IRError(
+                f"tuple field index {index} out of range for {len(self.fields)} fields"
+            )
+        return self.fields[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        inner = ", ".join(repr(f) for f in self.fields)
+        return f"({inner})"
+
+
+@dataclass(frozen=True)
+class TensorType(Type):
+    """A dense multidimensional array ``V^R`` of element type ``V`` and arity ``R``."""
+
+    element: Type
+    rank: int
+
+    def __post_init__(self) -> None:
+        if isinstance(self.element, TensorType):
+            raise IRError("nested arrays are not allowed; use a higher-rank TensorType")
+        if self.rank < 1:
+            raise IRError(f"tensor rank must be >= 1, got {self.rank}")
+
+    @property
+    def bits(self) -> int:
+        # The static size of a tensor is unknown; bits refers to one element.
+        return self.element.bits
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.element!r}^{self.rank}"
+
+
+def tensor(element: Type, rank: int) -> TensorType:
+    """Convenience constructor for :class:`TensorType`."""
+    return TensorType(element, rank)
+
+
+def tuple_of(*fields: Type) -> TupleType:
+    """Convenience constructor for :class:`TupleType`."""
+    return TupleType(tuple(fields))
+
+
+def is_scalar(ty: Type) -> bool:
+    return isinstance(ty, ScalarType)
+
+
+def is_tensor(ty: Type) -> bool:
+    return isinstance(ty, TensorType)
+
+
+def is_tuple(ty: Type) -> bool:
+    return isinstance(ty, TupleType)
+
+
+def element_type(ty: Type) -> Type:
+    """Return the element type of a tensor, or the type itself for scalars/tuples."""
+    if isinstance(ty, TensorType):
+        return ty.element
+    return ty
+
+
+def bit_width(ty: Type) -> int:
+    """Bit width of a single element of ``ty``."""
+    return element_type(ty).bits
+
+
+def common_type(left: Type, right: Type) -> Type:
+    """Numeric promotion used by arithmetic operators.
+
+    Floats dominate ints, wider widths dominate narrower ones.  Index types
+    promote to plain integers when mixed with them.
+    """
+    if left == right:
+        return left
+    if isinstance(left, ScalarType) and isinstance(right, ScalarType):
+        if left.is_bool and right.is_bool:
+            return BOOL
+        if left.is_float or right.is_float:
+            width = max(
+                left.width if left.is_float else 0,
+                right.width if right.is_float else 0,
+            )
+            return FLOAT64 if width > 32 else FLOAT32
+        width = max(left.width, right.width)
+        return INT64 if width > 32 else INT32
+    if isinstance(left, TupleType) and isinstance(right, TupleType):
+        if left.arity != right.arity:
+            raise IRError(f"cannot unify tuple types of arity {left.arity} and {right.arity}")
+        return TupleType(tuple(common_type(a, b) for a, b in zip(left.fields, right.fields)))
+    if isinstance(left, TensorType) and isinstance(right, TensorType):
+        if left.rank != right.rank:
+            raise IRError(f"cannot unify tensor ranks {left.rank} and {right.rank}")
+        return TensorType(common_type(left.element, right.element), left.rank)
+    raise IRError(f"cannot unify types {left!r} and {right!r}")
+
+
+def tuple_from(fields: Iterable[Type]) -> TupleType:
+    return TupleType(tuple(fields))
+
+
+# Mapping used by the frontend / interpreter to coerce python & numpy values.
+PythonScalar = Union[int, float, bool]

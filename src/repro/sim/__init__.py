@@ -1,0 +1,15 @@
+"""Transaction-level performance simulator standing in for the FPGA board.
+
+The simulator assigns cycle counts to every template and controller of a
+:class:`~repro.hw.design.HardwareDesign` using the board's DRAM parameters
+and the design's clock, mirroring how the paper measures wall-clock time on
+the Max4 Maia board.  The functional result of a design is obtained by
+running the reference interpreter on the design's program, so output
+correctness is checked end to end as well.
+"""
+
+from repro.sim.model import PerformanceModel
+from repro.sim.metrics import SimulationResult, speedup
+from repro.sim.engine import Simulator, simulate
+
+__all__ = ["PerformanceModel", "SimulationResult", "Simulator", "simulate", "speedup"]

@@ -1,0 +1,60 @@
+"""Simulation results and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["SimulationResult", "speedup"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one hardware design on one workload."""
+
+    design_name: str
+    program_name: str
+    config_label: str
+    cycles: float
+    clock_hz: float
+    main_memory_read_bytes: int
+    main_memory_write_bytes: int
+    per_module_cycles: Dict[str, float] = field(default_factory=dict)
+    compute_cycles: float = 0.0
+    memory_cycles: float = 0.0
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.clock_hz
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+    @property
+    def effective_bandwidth_gbps(self) -> float:
+        total_bytes = self.main_memory_read_bytes + self.main_memory_write_bytes
+        if self.seconds == 0:
+            return 0.0
+        return total_bytes / self.seconds / 1e9
+
+    @property
+    def bound(self) -> str:
+        """Whether the design is compute- or memory-bound (coarse indicator)."""
+        if self.memory_cycles > self.compute_cycles:
+            return "memory"
+        return "compute"
+
+    def summary(self) -> str:
+        return (
+            f"{self.program_name:<10} {self.config_label:<24} "
+            f"{self.cycles:>14,.0f} cycles  {self.milliseconds:>10.3f} ms  "
+            f"({self.bound}-bound)"
+        )
+
+
+def speedup(baseline: SimulationResult, optimized: SimulationResult) -> float:
+    """Speedup of ``optimized`` over ``baseline`` (paper Figure 7 definition)."""
+    if optimized.cycles == 0:
+        return float("inf")
+    return baseline.cycles / optimized.cycles

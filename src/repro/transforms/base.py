@@ -1,0 +1,69 @@
+"""Pass framework: every transformation is a Program → Program pass."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.ppl.program import Program
+
+__all__ = ["Pass", "PassPipeline"]
+
+
+class Pass:
+    """Base class of IR transformation passes.
+
+    Subclasses implement :meth:`run_on_program` (or just :meth:`run_on_body`
+    when the pass does not change the program's inputs).  Passes must be
+    semantics preserving; the test-suite checks this with the reference
+    interpreter.
+    """
+
+    name: str = "pass"
+
+    def run(self, program: Program) -> Program:
+        result = self.run_on_program(program)
+        return result
+
+    def run_on_program(self, program: Program) -> Program:
+        body = self.run_on_body(program)
+        if body is program.body:
+            return program
+        return program.with_body(body)
+
+    def run_on_body(self, program: Program):
+        raise NotImplementedError(f"{type(self).__name__} must implement run_on_body")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__}>"
+
+
+@dataclass
+class PassPipeline:
+    """An ordered sequence of passes with an execution trace.
+
+    The trace keeps the program produced by each pass so tests, examples and
+    documentation can show the intermediate representations at every step of
+    the flow in Figure 1 (fusion → tiling → hardware generation).
+    """
+
+    passes: list[Pass] = field(default_factory=list)
+    trace: list[tuple[str, Program]] = field(default_factory=list)
+
+    def add(self, pass_: Pass) -> "PassPipeline":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, program: Program) -> Program:
+        self.trace = [("input", program)]
+        current = program
+        for pass_ in self.passes:
+            current = pass_.run(current)
+            self.trace.append((pass_.name, current))
+        return current
+
+    def intermediate(self, pass_name: str) -> Optional[Program]:
+        for name, program in self.trace:
+            if name == pass_name:
+                return program
+        return None

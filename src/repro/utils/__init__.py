@@ -1,0 +1,5 @@
+"""Small shared utilities used across the repro packages."""
+
+from repro.utils.naming import NameGenerator, fresh_name, reset_names
+
+__all__ = ["NameGenerator", "fresh_name", "reset_names"]

@@ -1,0 +1,48 @@
+"""Fresh-name generation for IR symbols.
+
+The transformation passes (strip mining, interchange, fusion) constantly
+introduce new bound symbols.  To keep generated IR readable and printable the
+names follow the paper's conventions: outer tile indices are ``ii``/``jj``,
+accumulators are ``acc``, tile copies are ``<array>Tile`` and so on.  The
+generator guarantees uniqueness by appending a numeric suffix when a base
+name is requested more than once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+
+
+class NameGenerator:
+    """Generates unique names from base prefixes.
+
+    The first request for a prefix returns the prefix itself so that simple
+    programs print exactly like the paper's examples; subsequent requests
+    return ``prefix1``, ``prefix2``, ...
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, itertools.count] = defaultdict(lambda: itertools.count())
+
+    def fresh(self, prefix: str) -> str:
+        index = next(self._counters[prefix])
+        if index == 0:
+            return prefix
+        return f"{prefix}{index}"
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+
+_GLOBAL_NAMES = NameGenerator()
+
+
+def fresh_name(prefix: str) -> str:
+    """Return a globally unique name derived from ``prefix``."""
+    return _GLOBAL_NAMES.fresh(prefix)
+
+
+def reset_names() -> None:
+    """Reset the global name generator (used by tests for determinism)."""
+    _GLOBAL_NAMES.reset()

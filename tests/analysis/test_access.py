@@ -1,0 +1,105 @@
+"""Access-pattern analysis: linear forms and affine classification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.access import AccessClass, classify_access, collect_accesses, linear_form
+from repro.ppl import builder as b
+from repro.ppl.ir import BinOp, Select, UnaryOp
+from repro.ppl.types import FLOAT32, INDEX
+
+
+class TestLinearForm:
+    def test_constant(self):
+        form = linear_form(b.idx(7))
+        assert form.is_constant and form.constant == 7
+
+    def test_single_symbol(self):
+        i = b.index_sym("i")
+        form = linear_form(i)
+        assert form.coefficient(i) == 1
+
+    def test_sum_and_scale(self):
+        i, j = b.index_sym("i"), b.index_sym("j")
+        form = linear_form(b.add(b.mul(3, i), b.add(j, 2)))
+        assert form.coefficient(i) == 3
+        assert form.coefficient(j) == 1
+        assert form.constant == 2
+
+    def test_subtraction_and_negation(self):
+        i = b.index_sym("i")
+        form = linear_form(b.sub(10, i))
+        assert form.coefficient(i) == -1
+        assert form.constant == 10
+        neg = linear_form(UnaryOp("neg", i))
+        assert neg.coefficient(i) == -1
+
+    def test_product_of_symbols_is_not_linear(self):
+        i, j = b.index_sym("i"), b.index_sym("j")
+        assert linear_form(b.mul(i, j)) is None
+
+    def test_data_dependent_is_not_linear(self):
+        x = b.array_sym("x", 1)
+        assert linear_form(b.apply_array(x, 0)) is None
+
+    def test_select_is_not_linear(self):
+        i = b.index_sym("i")
+        from repro.ppl.ir import Cmp
+
+        assert linear_form(Select(Cmp("<", i, b.idx(1)), i, b.idx(0))) is None
+
+    def test_restriction_and_removal(self):
+        i, j = b.index_sym("i"), b.index_sym("j")
+        form = linear_form(b.add(i, b.add(j, 5)))
+        assert set(form.restricted_to([i]).coeffs) == {i}
+        assert set(form.without([i]).coeffs) == {j}
+        assert form.without([i]).constant == 5
+
+    @given(st.integers(-20, 20), st.integers(-20, 20), st.integers(-10, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_linear_combination_roundtrip(self, a, c, k):
+        i, j = b.index_sym("i"), b.index_sym("j")
+        expr = b.add(b.add(b.mul(a, i), b.mul(c, j)), k)
+        form = linear_form(expr)
+        assert form is not None
+        assert form.coefficient(i) == (a if a not in (0,) else 0)
+        assert form.coefficient(j) == (c if c not in (0,) else 0)
+        assert form.constant == k
+
+
+class TestClassification:
+    def test_affine_access(self):
+        i = b.index_sym("i")
+        ii = b.index_sym("ii")
+        assert classify_access([b.add(ii, i)], [i, ii]) == AccessClass.AFFINE
+
+    def test_non_affine_when_data_dependent(self):
+        i = b.index_sym("i")
+        idx = b.sym("minDistIndex", INDEX)
+        assert classify_access([idx, i], [i]) == AccessClass.NON_AFFINE
+
+    def test_constant_access(self):
+        i = b.index_sym("i")
+        assert classify_access([b.idx(3)], [i]) == AccessClass.CONSTANT
+
+    def test_slice_dims_are_affine(self):
+        i = b.index_sym("i")
+        assert classify_access([i, None], [i]) == AccessClass.AFFINE
+
+    def test_collect_accesses_classifies_sites(self):
+        n = b.size_sym("n")
+        x = b.array_sym("x", 2)
+        idx_arr = b.array_sym("perm", 1)
+        body = b.pmap(
+            b.domain(n),
+            lambda i: b.add(
+                b.apply_array(x, i, 0),
+                b.apply_array(x, b.apply_array(idx_arr, i), 0),
+            ),
+        )
+        func = body.func
+        accesses = collect_accesses(func.body, func.params, [n])
+        x_accesses = [a for a in accesses if a.array_name == "x"]
+        assert any(a.is_affine for a in x_accesses)
+        assert any(not a.is_affine for a in x_accesses)

@@ -1,0 +1,140 @@
+"""Functional correctness of the six benchmark programs against numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.apps import all_benchmarks, get_benchmark
+from repro.ppl.interp import run_program
+
+BENCHMARK_NAMES = [bench.name for bench in all_benchmarks()]
+
+
+def _run(bench, rng, sizes=None):
+    bindings = bench.bindings(sizes, rng)
+    program = bench.build()
+    result = run_program(program, bindings)
+    expected = bench.reference(bindings)
+    return result, expected
+
+
+class TestRegistry:
+    def test_all_six_registered(self):
+        assert BENCHMARK_NAMES == ["outerprod", "sumrows", "gemm", "tpchq6", "gda", "kmeans"]
+
+    def test_get_benchmark_unknown(self):
+        with pytest.raises(KeyError):
+            get_benchmark("nosuch")
+
+    def test_collection_ops_match_table5(self):
+        table5 = {
+            "outerprod": ("map",),
+            "sumrows": ("map", "reduce"),
+            "gemm": ("map", "reduce"),
+            "tpchq6": ("filter", "reduce"),
+            "gda": ("map", "filter", "reduce"),
+            "kmeans": ("map", "groupBy", "reduce"),
+        }
+        for bench in all_benchmarks():
+            assert bench.collection_ops == table5[bench.name]
+
+    def test_every_benchmark_has_tile_sizes(self):
+        for bench in all_benchmarks():
+            assert bench.tile_sizes, bench.name
+            for dim, tile in bench.tile_sizes.items():
+                assert tile > 0
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+class TestProgramsBuild:
+    def test_builds_a_closed_program(self, name):
+        bench = get_benchmark(name)
+        program = bench.build()
+        assert program.name in (name, f"{name}_flatmap")
+        assert program.inputs
+        assert program.sizes
+
+    def test_rebuild_is_deterministic_in_structure(self, name):
+        from repro.ppl.traversal import count_nodes
+
+        bench = get_benchmark(name)
+        first = bench.build()
+        second = bench.build()
+        assert count_nodes(first.body) == count_nodes(second.body)
+
+
+class TestOuterprod:
+    def test_matches_numpy(self, rng):
+        result, expected = _run(get_benchmark("outerprod"), rng)
+        np.testing.assert_allclose(result, expected)
+
+
+class TestSumrows:
+    def test_matches_numpy(self, rng):
+        result, expected = _run(get_benchmark("sumrows"), rng)
+        np.testing.assert_allclose(result, expected)
+
+    def test_non_square(self, rng):
+        result, expected = _run(get_benchmark("sumrows"), rng, sizes={"m": 3, "n": 11})
+        np.testing.assert_allclose(result, expected)
+
+
+class TestGemm:
+    def test_matches_numpy(self, rng):
+        result, expected = _run(get_benchmark("gemm"), rng)
+        np.testing.assert_allclose(result, expected, rtol=1e-10)
+
+    def test_rectangular(self, rng):
+        result, expected = _run(get_benchmark("gemm"), rng, sizes={"m": 2, "n": 7, "p": 5})
+        np.testing.assert_allclose(result, expected, rtol=1e-10)
+
+
+class TestTpchq6:
+    def test_matches_reference(self, rng):
+        result, expected = _run(get_benchmark("tpchq6"), rng)
+        assert result == pytest.approx(expected)
+
+    def test_flatmap_variant_matches(self, rng):
+        from repro.apps import build_tpchq6_flatmap
+
+        bench = get_benchmark("tpchq6")
+        bindings = bench.bindings(rng=rng)
+        program = build_tpchq6_flatmap()
+        result = run_program(program, bindings)
+        assert result == pytest.approx(bench.reference(bindings))
+
+    def test_empty_selection(self, rng):
+        bench = get_benchmark("tpchq6")
+        bindings = bench.bindings(rng=rng)
+        # Push every record outside the date range: nothing matches.
+        bindings["shipdate"] = np.full_like(np.asarray(bindings["shipdate"]), 100.0)
+        program = bench.build()
+        assert run_program(program, bindings) == pytest.approx(0.0)
+
+
+class TestGda:
+    def test_matches_numpy(self, rng):
+        result, expected = _run(get_benchmark("gda"), rng)
+        np.testing.assert_allclose(result, expected, rtol=1e-9)
+
+    def test_output_is_symmetric(self, rng):
+        bench = get_benchmark("gda")
+        bindings = bench.bindings(rng=rng)
+        result = run_program(bench.build(), bindings)
+        np.testing.assert_allclose(result, np.asarray(result).T, rtol=1e-9)
+
+
+class TestKmeans:
+    def test_matches_numpy(self, rng):
+        result, expected = _run(get_benchmark("kmeans"), rng)
+        np.testing.assert_allclose(result, expected, rtol=1e-9)
+
+    def test_single_cluster(self, rng):
+        result, expected = _run(get_benchmark("kmeans"), rng, sizes={"n": 6, "k": 1, "d": 3})
+        np.testing.assert_allclose(result, expected, rtol=1e-9)
+
+    def test_new_centroids_near_old_for_tight_clusters(self, rng):
+        bench = get_benchmark("kmeans")
+        bindings = bench.bindings(rng=rng)
+        result = run_program(bench.build(), bindings)
+        # Points were generated tightly around the initial centroids.
+        np.testing.assert_allclose(result, np.asarray(bindings["centroids"]), atol=0.5)

@@ -1,0 +1,58 @@
+"""MaxJ-like HGL emission and design reports."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_benchmark
+from repro.codegen import design_report, generate_maxj
+from repro.compiler import compile_program
+from repro.config import BASELINE, CompileConfig
+
+
+def _compile(name="kmeans", metapipelining=True):
+    bench = get_benchmark(name)
+    config = CompileConfig(
+        tiling=True, metapipelining=metapipelining, tile_sizes=dict(bench.tile_sizes)
+    )
+    bindings = bench.bindings({"n": 4096, "k": 16, "d": 16}, np.random.default_rng(0))
+    return compile_program(bench.build(), config, bindings)
+
+
+class TestMaxJGeneration:
+    def test_kernel_class_structure(self):
+        result = _compile()
+        code = generate_maxj(result.design)
+        assert "class KmeansKernel extends Kernel" in code
+        assert "import com.maxeler.maxcompiler" in code
+
+    def test_every_module_appears(self):
+        result = _compile()
+        code = generate_maxj(result.design)
+        for module in result.design.all_modules():
+            assert module.name in code, f"{module.name} missing from generated MaxJ"
+
+    def test_metapipeline_and_tile_memories_rendered(self):
+        code = generate_maxj(_compile().design)
+        assert "control.metapipeline(" in code
+        assert "lmem.tileLoad(" in code
+        assert "DoubleBuffer" in code
+
+    def test_baseline_renders_streams(self):
+        bench = get_benchmark("tpchq6")
+        bindings = bench.bindings({"n": 65536}, np.random.default_rng(0))
+        result = compile_program(bench.build(), BASELINE, bindings)
+        code = generate_maxj(result.design)
+        assert "lmem.stream(" in code
+        assert "control.parallel(" in code
+
+
+class TestDesignReport:
+    def test_report_sections(self):
+        report = design_report(_compile().design)
+        assert "Controller hierarchy" in report
+        assert "On-chip memories" in report
+        assert "Area estimate" in report
+
+    def test_report_mentions_preloaded_centroids(self):
+        report = design_report(_compile().design)
+        assert "preload_centroids" in report

@@ -1,0 +1,21 @@
+"""Shared pytest fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.naming import reset_names
+
+
+@pytest.fixture(autouse=True)
+def _fresh_names():
+    """Keep generated symbol names deterministic across tests."""
+    reset_names()
+    yield
+    reset_names()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(seed=12345)

@@ -1,0 +1,60 @@
+"""Evaluation harness: Figure 7 and Figure 5c reproduction checks (small workloads)."""
+
+import pytest
+
+from repro.evaluation.figure5c import paper_formulas, run_figure5c
+from repro.evaluation.figure7 import PAPER_FIGURE7, run_benchmark, run_figure7
+
+SMALL_SIZES = {
+    "outerprod": {"m": 1024, "n": 1024},
+    "sumrows": {"m": 4096, "n": 256},
+    "gemm": {"m": 256, "n": 256, "p": 256},
+    "tpchq6": {"n": 262144},
+    "gda": {"n": 4096, "d": 16},
+    "kmeans": {"n": 8192, "k": 16, "d": 16},
+}
+
+
+class TestFigure7Harness:
+    def test_single_benchmark_result(self):
+        result = run_benchmark("kmeans", sizes=SMALL_SIZES["kmeans"])
+        assert result.speedup_tiling > 1.0
+        assert result.speedup_metapipelining >= result.speedup_tiling * 0.95
+        assert set(result.tiling.relative_resources) == {"logic", "FF", "mem"}
+
+    def test_report_tables_render(self):
+        report = run_figure7(benchmarks=["tpchq6", "gda"], sizes_override=SMALL_SIZES)
+        table = report.speedup_table()
+        assert "tpchq6" in table and "gda" in table
+        assert "paper" in table
+        resources = report.resource_table()
+        assert "logic" in resources
+        assert set(report.as_dict()) == {"tpchq6", "gda"}
+
+    def test_locality_benchmarks_beat_streaming_benchmarks(self):
+        report = run_figure7(benchmarks=["tpchq6", "kmeans"], sizes_override=SMALL_SIZES)
+        streaming = report.result("tpchq6").speedup_metapipelining
+        locality = report.result("kmeans").speedup_metapipelining
+        assert locality > 3 * streaming
+
+    def test_paper_reference_values_present(self):
+        assert set(PAPER_FIGURE7) == {"outerprod", "sumrows", "gemm", "tpchq6", "gda", "kmeans"}
+
+
+class TestFigure5cHarness:
+    def test_default_sizes_match_paper_formulas(self):
+        report = run_figure5c()
+        assert report.all_match
+        assert report.row("interchanged", "centroids").reads < report.row("fused", "centroids").reads
+
+    def test_formula_evaluation(self):
+        sizes = {"n": 1024, "k": 32, "d": 8}
+        tiles = {"n": 64, "k": 8}
+        formulas = paper_formulas(sizes, tiles)
+        assert formulas["fused"]["centroids"]["reads"] == 1024 * 32 * 8
+        assert formulas["interchanged"]["centroids"]["reads"] == (1024 // 64) * 32 * 8
+        assert formulas["interchanged"]["minDistWithIndex"]["storage"] == 2 * 64
+
+    def test_alternate_tile_sizes_still_match(self):
+        report = run_figure5c(sizes={"n": 2048, "k": 16, "d": 8}, tiles={"n": 64, "k": 4})
+        assert report.all_match

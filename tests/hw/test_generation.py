@@ -1,0 +1,101 @@
+"""Hardware generation: template selection, memory allocation, metapipelines."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_benchmark
+from repro.compiler import compile_program
+from repro.config import BASELINE, CompileConfig
+from repro.hw.controllers import MetapipelineController, ParallelController, SequentialController
+from repro.hw.templates import (
+    Buffer,
+    MainMemoryStream,
+    ReductionTree,
+    TileLoad,
+    TileStore,
+    VectorUnit,
+)
+
+SIZES = {
+    "outerprod": {"m": 512, "n": 512},
+    "sumrows": {"m": 2048, "n": 128},
+    "gemm": {"m": 128, "n": 128, "p": 128},
+    "tpchq6": {"n": 65536},
+    "gda": {"n": 2048, "d": 16},
+    "kmeans": {"n": 4096, "k": 16, "d": 16},
+}
+
+
+def _compile(name, config):
+    bench = get_benchmark(name)
+    bindings = bench.bindings(SIZES[name], np.random.default_rng(0))
+    return compile_program(bench.build(), config, bindings)
+
+
+def _tiled_config(name, metapipelining=True):
+    bench = get_benchmark(name)
+    return CompileConfig(
+        tiling=True, metapipelining=metapipelining, tile_sizes=dict(bench.tile_sizes)
+    )
+
+
+class TestBaselineDesigns:
+    @pytest.mark.parametrize("name", list(SIZES))
+    def test_baseline_has_stream_and_compute(self, name):
+        design = _compile(name, BASELINE).design
+        assert design.modules_of(MainMemoryStream)
+        assert design.modules_of(VectorUnit) or design.modules_of(ReductionTree)
+        assert not design.modules_of(TileLoad) or all(
+            not m.name.startswith("load_") for m in design.modules_of(TileLoad)
+        )
+        assert design.modules_of(ParallelController)
+
+    def test_baseline_accounts_output_writes(self):
+        design = _compile("outerprod", BASELINE).design
+        assert design.main_memory_write_bytes == 512 * 512 * 4
+
+
+class TestTiledDesigns:
+    @pytest.mark.parametrize("name", ["sumrows", "gemm", "kmeans", "gda", "tpchq6", "outerprod"])
+    def test_tile_loads_and_buffers(self, name):
+        design = _compile(name, _tiled_config(name)).design
+        assert design.modules_of(TileLoad)
+        assert design.modules_of(Buffer)
+        assert design.modules_of(TileStore)
+
+    def test_metapipeline_controllers_only_when_enabled(self):
+        with_meta = _compile("kmeans", _tiled_config("kmeans", True)).design
+        without = _compile("kmeans", _tiled_config("kmeans", False)).design
+        assert with_meta.modules_of(MetapipelineController)
+        assert not without.modules_of(MetapipelineController)
+        assert without.modules_of(SequentialController)
+
+    def test_kmeans_centroids_preloaded(self):
+        design = _compile("kmeans", _tiled_config("kmeans")).design
+        preloads = [m for m in design.modules_of(TileLoad) if m.name == "preload_centroids"]
+        assert preloads
+        assert any(m.source == "centroids" for m in design.modules_of(Buffer))
+
+    def test_gda_class_means_preloaded(self):
+        design = _compile("gda", _tiled_config("gda")).design
+        preload_sources = {m.source for m in design.modules_of(TileLoad)}
+        assert {"mu0", "mu1"} <= preload_sources
+
+    def test_tiled_traffic_much_lower_than_baseline(self):
+        baseline = _compile("kmeans", BASELINE).design
+        tiled = _compile("kmeans", _tiled_config("kmeans")).design
+        assert tiled.main_memory_read_bytes < baseline.main_memory_read_bytes / 4
+
+    def test_double_buffers_in_metapipelines(self):
+        design = _compile("gda", _tiled_config("gda")).design
+        assert design.double_buffers
+
+    def test_design_summary_renders(self):
+        design = _compile("gemm", _tiled_config("gemm")).design
+        text = design.summary()
+        assert "templates" in text
+        assert "DRAM reads" in text
+
+    def test_template_inventory_has_no_controllers(self):
+        design = _compile("gemm", _tiled_config("gemm")).design
+        assert not any(kind.endswith("Controller") for kind in design.template_inventory())

@@ -1,0 +1,327 @@
+"""Tests for the reference interpreter (the semantic oracle)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ppl import builder as b
+from repro.ppl.interp import Interpreter, evaluate, run_program
+from repro.ppl.ir import BinOp, Cmp, Const, Lambda, MakeTuple, Select
+from repro.ppl.program import Program
+from repro.ppl.types import FLOAT32, INDEX
+
+
+def _env(**kwargs):
+    """Build an environment keyed by fresh symbols, returning (syms, env)."""
+    syms = {}
+    env = {}
+    for name, value in kwargs.items():
+        rank = getattr(value, "ndim", 0)
+        if rank:
+            sym = b.array_sym(name, rank)
+        elif isinstance(value, float):
+            sym = b.sym(name, FLOAT32)
+        else:
+            sym = b.sym(name, INDEX)
+        syms[name] = sym
+        env[sym] = value
+    return syms, env
+
+
+class TestScalarEvaluation:
+    def test_arithmetic(self):
+        syms, env = _env(x=3.0, y=4.0)
+        expr = (syms["x"] + syms["y"]) * syms["x"]
+        assert evaluate(expr, env) == pytest.approx(21.0)
+
+    def test_division_index_is_floor(self):
+        syms, env = _env(n=17, bsz=4)
+        expr = BinOp("/", syms["n"], syms["bsz"])
+        assert evaluate(expr, env) == 4
+
+    def test_min_max(self):
+        syms, env = _env(x=3.0, y=4.0)
+        assert evaluate(b.minimum(syms["x"], syms["y"]), env) == 3.0
+        assert evaluate(b.maximum(syms["x"], syms["y"]), env) == 4.0
+
+    def test_select(self):
+        syms, env = _env(x=3.0, y=4.0)
+        expr = Select(Cmp("<", syms["x"], syms["y"]), syms["x"], syms["y"])
+        assert evaluate(expr, env) == 3.0
+
+    def test_tuple_roundtrip(self):
+        syms, env = _env(x=3.0)
+        t = MakeTuple((syms["x"], Const(7)))
+        assert evaluate(b.tget(t, 0), env) == 3.0
+        assert evaluate(b.tget(t, 1), env) == 7
+
+    def test_unary_ops(self):
+        syms, env = _env(x=4.0)
+        assert evaluate(b.square(syms["x"]), env) == 16.0
+        from repro.ppl.ir import UnaryOp
+
+        assert evaluate(UnaryOp("sqrt", syms["x"]), env) == 2.0
+        assert evaluate(UnaryOp("neg", syms["x"]), env) == -4.0
+
+
+class TestArrayEvaluation:
+    def test_array_apply(self, rng):
+        x = rng.normal(size=(4, 3))
+        syms, env = _env(x=x)
+        expr = b.apply_array(syms["x"], 2, 1)
+        assert evaluate(expr, env) == pytest.approx(x[2, 1])
+
+    def test_array_slice_row(self, rng):
+        x = rng.normal(size=(4, 3))
+        syms, env = _env(x=x)
+        row = b.slice_row(syms["x"], 1)
+        np.testing.assert_allclose(evaluate(row, env), x[1, :])
+
+    def test_array_copy_tile(self, rng):
+        x = rng.normal(size=(8,))
+        syms, env = _env(x=x)
+        tile = b.copy_tile(syms["x"], offsets=(4,), sizes=(2,))
+        np.testing.assert_allclose(evaluate(tile, env), x[4:6])
+
+    def test_array_copy_full_dim(self, rng):
+        x = rng.normal(size=(6, 5))
+        syms, env = _env(x=x)
+        tile = b.copy_tile(syms["x"], offsets=(2, 0), sizes=(2, None))
+        np.testing.assert_allclose(evaluate(tile, env), x[2:4, :])
+
+    def test_zeros(self):
+        syms, env = _env(n=3)
+        z = b.zeros((syms["n"], 2))
+        np.testing.assert_allclose(evaluate(z, env), np.zeros((3, 2)))
+
+    def test_array_dim(self, rng):
+        x = rng.normal(size=(6, 5))
+        syms, env = _env(x=x)
+        assert evaluate(b.dim(syms["x"], 1), env) == 5
+
+
+class TestMapEvaluation:
+    def test_elementwise_map(self, rng):
+        x = rng.normal(size=(10,))
+        syms, env = _env(x=x, n=10)
+        m = b.pmap(b.domain(syms["n"]), lambda i: b.apply_array(syms["x"], i) * 2.0)
+        np.testing.assert_allclose(evaluate(m, env), 2 * x)
+
+    def test_2d_map(self, rng):
+        x = rng.normal(size=(4, 3))
+        y = rng.normal(size=(4, 3))
+        syms, env = _env(x=x, y=y, m=4, n=3)
+        zipped = b.pmap(
+            b.domain(syms["m"], syms["n"]),
+            lambda i, j: b.apply_array(syms["x"], i, j) + b.apply_array(syms["y"], i, j),
+        )
+        np.testing.assert_allclose(evaluate(zipped, env), x + y)
+
+    def test_strided_map_produces_tile_count_outputs(self, rng):
+        x = rng.normal(size=(8,))
+        syms, env = _env(x=x, n=8)
+        m = b.pmap(
+            b.domain(syms["n"], strides=[4]),
+            lambda i: b.apply_array(syms["x"], i),
+        )
+        np.testing.assert_allclose(evaluate(m, env), x[[0, 4]])
+
+
+class TestFoldEvaluation:
+    def test_sum_fold(self, rng):
+        x = rng.normal(size=(16,))
+        syms, env = _env(x=x, n=16)
+        f = b.fold(b.domain(syms["n"]), b.flt(0.0), lambda i, acc: acc + b.apply_array(syms["x"], i))
+        assert evaluate(f, env) == pytest.approx(x.sum())
+
+    def test_product_fold(self, rng):
+        x = rng.uniform(0.5, 1.5, size=(8,))
+        syms, env = _env(x=x, n=8)
+        a, bb = b.sym("a", FLOAT32), b.sym("b", FLOAT32)
+        f = b.fold(
+            b.domain(syms["n"]),
+            b.flt(1.0),
+            lambda i, acc: acc * b.apply_array(syms["x"], i),
+            combine=Lambda((a, bb), BinOp("*", a, bb)),
+        )
+        assert evaluate(f, env) == pytest.approx(np.prod(x))
+
+    def test_multifold_row_sums(self, rng):
+        x = rng.normal(size=(4, 6))
+        syms, env = _env(x=x, m=4, n=6)
+        mf = b.multi_fold(
+            b.domain(syms["m"], syms["n"]),
+            rshape=(syms["m"],),
+            init=b.zeros((syms["m"],)),
+            index_builder=lambda i, j: i,
+            value_builder=lambda i, j, acc: acc + b.apply_array(syms["x"], i, j),
+            combine=None,
+            acc_ty=FLOAT32,
+        )
+        np.testing.assert_allclose(evaluate(mf, env), x.sum(axis=1))
+
+    def test_argmin_fold_with_tuple_accumulator(self, rng):
+        x = rng.normal(size=(12,))
+        syms, env = _env(x=x, n=12)
+
+        def step(i, acc):
+            dist = b.apply_array(syms["x"], i)
+            better = Cmp("<", b.tget(acc, 0), dist)
+            return Select(better, acc, b.tup(dist, i))
+
+        def combiner():
+            a = b.sym("a", b.tup(b.flt(0.0), b.idx(0)).ty)
+            c = b.sym("c", a.ty)
+            return Lambda((a, c), Select(Cmp("<", b.tget(a, 0), b.tget(c, 0)), a, c))
+
+        f = b.fold(b.domain(syms["n"]), b.tup(b.MAX_FLOAT, b.idx(-1)), step, combine=combiner())
+        dist, index = evaluate(f, env)
+        assert index == int(np.argmin(x))
+        assert dist == pytest.approx(x.min())
+
+    def test_parallel_partitions_match_sequential(self, rng):
+        x = rng.normal(size=(32,))
+        syms, env = _env(x=x, n=32)
+        f = b.fold(b.domain(syms["n"]), b.flt(0.0), lambda i, acc: acc + b.apply_array(syms["x"], i))
+        sequential = Interpreter(1).evaluate(f, env)
+        parallel = Interpreter(4).evaluate(f, env)
+        assert parallel == pytest.approx(sequential)
+
+
+class TestFlatMapAndGroupBy:
+    def test_filter_via_flatmap(self, rng):
+        x = rng.normal(size=(20,))
+        syms, env = _env(x=x, n=20)
+        fm = b.flat_map(
+            b.domain(syms["n"]),
+            lambda i: Select(
+                Cmp(">", b.apply_array(syms["x"], i), Const(0.0)),
+                _singleton(syms["x"], i),
+                _empty(),
+            ),
+        )
+        result = evaluate(fm, env)
+        np.testing.assert_allclose(result, x[x > 0])
+
+    def test_flatmap_two_outputs(self, rng):
+        x = rng.normal(size=(5,))
+        syms, env = _env(x=x, n=5)
+        from repro.ppl.ir import ArrayLit, UnaryOp
+
+        fm = b.flat_map(
+            b.domain(syms["n"]),
+            lambda i: ArrayLit(
+                (b.apply_array(syms["x"], i), UnaryOp("neg", b.apply_array(syms["x"], i)))
+            ),
+        )
+        result = evaluate(fm, env)
+        assert result.shape == (10,)
+        np.testing.assert_allclose(result[::2], x)
+        np.testing.assert_allclose(result[1::2], -x)
+
+    def test_histogram_groupbyfold(self):
+        x = np.array([1.0, 2.0, 2.0, 3.0, 2.0, 1.0])
+        syms, env = _env(x=x, n=6)
+        g = b.group_by_fold(
+            b.domain(syms["n"]),
+            init=b.flt(0.0),
+            key_builder=lambda i: b.apply_array(syms["x"], i),
+            value_builder=lambda i, acc: acc + 1.0,
+        )
+        result = evaluate(g, env)
+        buckets = {k: v for k, v in result}
+        assert buckets == {1: 2.0, 2: 3.0, 3: 1.0}
+        assert sum(v for _, v in result) == 6.0
+
+    def test_groupbyfold_parallel_matches_sequential(self, rng):
+        x = rng.integers(0, 5, size=(40,)).astype(float)
+        syms, env = _env(x=x, n=40)
+        g = b.group_by_fold(
+            b.domain(syms["n"]),
+            init=b.flt(0.0),
+            key_builder=lambda i: b.apply_array(syms["x"], i),
+            value_builder=lambda i, acc: acc + 1.0,
+        )
+        seq = {k: v for k, v in Interpreter(1).evaluate(g, env)}
+        par = {k: v for k, v in Interpreter(4).evaluate(g, env)}
+        assert seq == par
+
+
+def _singleton(array_sym, i):
+    from repro.ppl.ir import ArrayLit
+
+    return ArrayLit((b.apply_array(array_sym, i),))
+
+
+def _empty():
+    from repro.ppl.ir import EmptyArray
+
+    return EmptyArray()
+
+
+class TestPrograms:
+    def test_run_program_binding(self, rng):
+        x = rng.normal(size=(6,))
+        n = b.sym("n", INDEX)
+        arr = b.array_sym("x", 1)
+        body = b.pmap(b.domain(n), lambda i: b.apply_array(arr, i) + 1.0)
+        program = Program("inc", inputs=[arr], sizes=[n], body=body)
+        result = run_program(program, {"x": x, "n": 6})
+        np.testing.assert_allclose(result, x + 1)
+
+    def test_program_missing_binding_raises(self):
+        n = b.sym("n", INDEX)
+        arr = b.array_sym("x", 1)
+        body = b.pmap(b.domain(n), lambda i: b.apply_array(arr, i))
+        program = Program("ident", inputs=[arr], sizes=[n], body=body)
+        with pytest.raises(KeyError):
+            run_program(program, {"x": np.zeros(4)})
+
+    def test_program_unbound_symbol_rejected(self):
+        n = b.sym("n", INDEX)
+        arr = b.array_sym("x", 1)
+        stray = b.array_sym("y", 1)
+        body = b.pmap(b.domain(n), lambda i: b.apply_array(stray, i))
+        with pytest.raises(Exception):
+            Program("bad", inputs=[arr], sizes=[n], body=body)
+
+
+class TestPropertyBased:
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_fold_sum_matches_numpy(self, values):
+        x = np.array(values)
+        arr = b.array_sym("x", 1)
+        n = b.sym("n", INDEX)
+        f = b.fold(b.domain(n), b.flt(0.0), lambda i, acc: acc + b.apply_array(arr, i))
+        result = evaluate(f, {arr: x, n: len(values)})
+        assert result == pytest.approx(x.sum(), rel=1e-9, abs=1e-9)
+
+    @given(
+        st.integers(1, 6),
+        st.integers(1, 6),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_map_shape_matches_domain(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(rows, cols))
+        arr = b.array_sym("x", 2)
+        m = b.pmap(
+            b.domain(rows, cols), lambda i, j: b.apply_array(arr, i, j) * 3.0
+        )
+        result = evaluate(m, {arr: x})
+        assert result.shape == (rows, cols)
+        np.testing.assert_allclose(result, 3 * x)
+
+    @given(st.integers(2, 5), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_parallel_fold_partitions_equivalent(self, partitions, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(24,))
+        arr = b.array_sym("x", 1)
+        f = b.fold(b.domain(24), b.flt(0.0), lambda i, acc: acc + b.apply_array(arr, i))
+        seq = Interpreter(1).evaluate(f, {arr: x})
+        par = Interpreter(partitions).evaluate(f, {arr: x})
+        assert par == pytest.approx(seq)

@@ -1,0 +1,234 @@
+"""Tests for IR node construction and invariants."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ppl import builder as b
+from repro.ppl.ir import (
+    ArrayApply,
+    ArrayCopy,
+    ArrayLit,
+    ArraySlice,
+    BinOp,
+    Cmp,
+    Const,
+    Domain,
+    EmptyArray,
+    FlatMap,
+    GroupByFold,
+    Lambda,
+    MakeTuple,
+    Map,
+    MultiFold,
+    Select,
+    Sym,
+    TupleGet,
+    UnaryOp,
+    Zeros,
+)
+from repro.ppl.types import BOOL, FLOAT32, INDEX, TensorType, TupleType
+
+
+class TestScalarNodes:
+    def test_const_types(self):
+        assert Const(1).ty == INDEX
+        assert Const(1.5).ty == FLOAT32
+        assert Const(True).ty == BOOL
+
+    def test_binop_type_promotion(self):
+        x = b.sym("x", FLOAT32)
+        i = b.index_sym("i")
+        assert BinOp("+", x, i).ty == FLOAT32
+        assert BinOp("+", i, i).ty == INDEX
+
+    def test_binop_rejects_unknown_op(self):
+        with pytest.raises(IRError):
+            BinOp("**", Const(1), Const(2))
+
+    def test_cmp_returns_bool(self):
+        assert Cmp("<", Const(1), Const(2)).ty == BOOL
+
+    def test_unary_sqrt_promotes_to_float(self):
+        i = b.index_sym("i")
+        assert UnaryOp("sqrt", i).ty == FLOAT32
+
+    def test_select_branches_same_kind(self):
+        cond = Cmp("<", Const(1), Const(2))
+        out = Select(cond, Const(1.0), Const(2.0))
+        assert out.ty == FLOAT32
+
+    def test_tuple_get(self):
+        t = MakeTuple((Const(1.0), Const(2)))
+        assert isinstance(t.ty, TupleType)
+        assert TupleGet(t, 0).ty == FLOAT32
+        assert TupleGet(t, 1).ty == INDEX
+
+    def test_tuple_get_on_scalar_rejected(self):
+        with pytest.raises(IRError):
+            TupleGet(Const(1.0), 0)
+
+    def test_operator_sugar(self):
+        x = b.sym("x", FLOAT32)
+        expr = (x + 1.0) * x
+        assert isinstance(expr, BinOp)
+        assert expr.op == "*"
+
+
+class TestArrayNodes:
+    def test_array_apply_type(self):
+        x = b.array_sym("x", 2)
+        read = ArrayApply(x, (Const(0), Const(1)))
+        assert read.ty == FLOAT32
+
+    def test_array_apply_wrong_arity(self):
+        x = b.array_sym("x", 2)
+        with pytest.raises(IRError):
+            ArrayApply(x, (Const(0),))
+
+    def test_array_slice_reduces_rank(self):
+        x = b.array_sym("x", 2)
+        row = ArraySlice(x, (Const(3), None))
+        assert row.ty == TensorType(FLOAT32, 1)
+        assert row.kept_axes == (1,)
+
+    def test_array_slice_must_keep_a_dim(self):
+        x = b.array_sym("x", 2)
+        with pytest.raises(IRError):
+            ArraySlice(x, (Const(0), Const(1)))
+
+    def test_array_copy_shape_bookkeeping(self):
+        x = b.array_sym("x", 2)
+        bsz = b.sym("b0", INDEX)
+        ii = b.index_sym("ii")
+        tile = ArrayCopy(x, (ii, Const(0)), (bsz, None))
+        assert tile.ty.rank == 2
+        assert tile.full_dims == (1,)
+        sizes = tile.sizes
+        assert sizes[0] is bsz
+        assert sizes[1] is None
+
+    def test_zeros_and_empty(self):
+        z = Zeros((Const(4), Const(2)))
+        assert z.ty.rank == 2
+        e = EmptyArray()
+        assert e.ty.rank == 1
+
+    def test_array_lit(self):
+        lit = ArrayLit((Const(1.0), Const(2.0)))
+        assert lit.ty == TensorType(FLOAT32, 1)
+
+    def test_apply_on_scalar_rejected(self):
+        with pytest.raises(IRError):
+            ArrayApply(Const(1.0), (Const(0),))
+
+
+class TestDomains:
+    def test_unstrided_domain(self):
+        d = Domain((Const(16),))
+        assert d.rank == 1
+        assert not d.is_strided
+
+    def test_strided_domain(self):
+        d = Domain((Const(16),), (Const(4),))
+        assert d.is_strided
+
+    def test_stride_mismatch_rejected(self):
+        with pytest.raises(IRError):
+            Domain((Const(16), Const(8)), (Const(4),))
+
+
+class TestPatterns:
+    def test_map_output_type(self):
+        n = b.sym("n", INDEX)
+        x = b.array_sym("x", 1)
+        m = b.pmap(b.domain(n), lambda i: b.apply_array(x, i) * 2.0)
+        assert isinstance(m, Map)
+        assert m.ty == TensorType(FLOAT32, 1)
+
+    def test_map_arity_mismatch(self):
+        i = b.index_sym("i")
+        func = Lambda((i,), i)
+        with pytest.raises(IRError):
+            Map(Domain((Const(4), Const(4))), func)
+
+    def test_map_rejects_array_body(self):
+        x = b.array_sym("x", 2)
+        with pytest.raises(IRError):
+            b.pmap(b.domain(4), lambda i: b.slice_row(x, i))
+
+    def test_fold_is_scalar_multifold(self):
+        n = b.sym("n", INDEX)
+        x = b.array_sym("x", 1)
+        f = b.fold(b.domain(n), b.flt(0.0), lambda i, acc: acc + b.apply_array(x, i))
+        assert isinstance(f, MultiFold)
+        assert f.is_scalar_fold
+        assert f.updates_whole_accumulator
+
+    def test_multifold_accumulator_sym(self):
+        n = b.sym("n", INDEX)
+        x = b.array_sym("x", 2)
+        mf = b.multi_fold(
+            b.domain(n, 8),
+            rshape=(n,),
+            init=b.zeros((n,)),
+            index_builder=lambda i, j: i,
+            value_builder=lambda i, j, acc: acc + b.apply_array(x, i, j),
+            combine=None,
+            acc_ty=FLOAT32,
+        )
+        assert mf.accumulator_sym.ty == FLOAT32
+        assert not mf.is_scalar_fold
+
+    def test_flatmap_requires_1d(self):
+        x = b.array_sym("x", 1)
+        with pytest.raises(IRError):
+            FlatMap(
+                Domain((Const(4), Const(4))),
+                Lambda((b.index_sym("i"),), ArrayLit((Const(1.0),))),
+            )
+
+    def test_flatmap_requires_array_body(self):
+        with pytest.raises(IRError):
+            b.flat_map(b.domain(4), lambda i: Const(1.0))
+
+    def test_groupbyfold_output_type(self):
+        x = b.array_sym("x", 1)
+        g = b.group_by_fold(
+            b.domain(16),
+            init=b.flt(0.0),
+            key_builder=lambda i: BinOp("/", b.apply_array(x, i), b.flt(10.0)),
+            value_builder=lambda i, acc: acc + 1.0,
+        )
+        assert isinstance(g, GroupByFold)
+        assert g.ty.rank == 1
+        assert isinstance(g.ty.element, TupleType)
+
+    def test_pattern_meta(self):
+        m = b.pmap(b.domain(4), lambda i: Const(1.0))
+        m.with_meta(par=4)
+        assert m.meta["par"] == 4
+
+    def test_writes_constant_location(self):
+        n = b.sym("n", INDEX)
+        x = b.array_sym("x", 1)
+        f = b.fold(b.domain(n), b.flt(0.0), lambda i, acc: acc + b.apply_array(x, i))
+        assert f.writes_constant_location
+
+
+class TestChildrenAndFields:
+    def test_children_of_binop(self):
+        x = b.sym("x", FLOAT32)
+        expr = x + 1.0
+        kids = expr.children()
+        assert kids[0] is x
+
+    def test_children_of_pattern_include_domain_and_func(self):
+        m = b.pmap(b.domain(4), lambda i: Const(2.0) * Const(3.0))
+        kinds = {type(c).__name__ for c in m.children()}
+        assert "Domain" in kinds
+        assert "Lambda" in kinds
+
+    def test_node_ids_unique(self):
+        a = Const(1)
+        c = Const(1)
+        assert a.node_id != c.node_id

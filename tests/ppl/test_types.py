@@ -1,0 +1,134 @@
+"""Tests for the PPL type system."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ppl.types import (
+    BOOL,
+    FLOAT32,
+    FLOAT64,
+    INDEX,
+    INT32,
+    INT64,
+    ScalarType,
+    TensorType,
+    TupleType,
+    bit_width,
+    common_type,
+    element_type,
+    is_scalar,
+    is_tensor,
+    is_tuple,
+    tensor,
+    tuple_of,
+)
+
+
+class TestScalarTypes:
+    def test_float32_properties(self):
+        assert FLOAT32.is_float
+        assert not FLOAT32.is_int
+        assert FLOAT32.bits == 32
+        assert FLOAT32.bytes == 4
+
+    def test_index_is_int(self):
+        assert INDEX.is_int
+        assert INDEX.is_index
+        assert not INDEX.is_float
+
+    def test_bool_width(self):
+        assert BOOL.is_bool
+        assert BOOL.bits == 1
+        assert BOOL.bytes == 1
+
+    def test_scalar_equality(self):
+        assert FLOAT32 == ScalarType("Float32", "float", 32)
+        assert FLOAT32 != FLOAT64
+
+
+class TestTupleTypes:
+    def test_tuple_bits_sum(self):
+        ty = tuple_of(FLOAT32, INT32)
+        assert ty.bits == 64
+        assert ty.arity == 2
+
+    def test_tuple_field_access(self):
+        ty = tuple_of(FLOAT32, INDEX)
+        assert ty.field(0) == FLOAT32
+        assert ty.field(1) == INDEX
+
+    def test_tuple_field_out_of_range(self):
+        ty = tuple_of(FLOAT32, INDEX)
+        with pytest.raises(IRError):
+            ty.field(2)
+
+    def test_empty_tuple_rejected(self):
+        with pytest.raises(IRError):
+            TupleType(())
+
+
+class TestTensorTypes:
+    def test_tensor_rank_and_element(self):
+        ty = tensor(FLOAT32, 2)
+        assert ty.rank == 2
+        assert ty.element == FLOAT32
+        assert is_tensor(ty)
+
+    def test_nested_tensor_rejected(self):
+        with pytest.raises(IRError):
+            tensor(tensor(FLOAT32, 1), 1)
+
+    def test_zero_rank_rejected(self):
+        with pytest.raises(IRError):
+            tensor(FLOAT32, 0)
+
+    def test_tensor_of_tuples(self):
+        ty = tensor(tuple_of(FLOAT32, INDEX), 1)
+        assert is_tuple(ty.element)
+
+
+class TestTypePredicates:
+    def test_is_scalar(self):
+        assert is_scalar(FLOAT32)
+        assert not is_scalar(tensor(FLOAT32, 1))
+
+    def test_element_type_of_tensor(self):
+        assert element_type(tensor(INT32, 3)) == INT32
+
+    def test_element_type_of_scalar(self):
+        assert element_type(FLOAT64) == FLOAT64
+
+    def test_bit_width(self):
+        assert bit_width(tensor(FLOAT64, 2)) == 64
+        assert bit_width(INT32) == 32
+
+
+class TestCommonType:
+    def test_same_type(self):
+        assert common_type(FLOAT32, FLOAT32) == FLOAT32
+
+    def test_int_float_promotes_to_float(self):
+        assert common_type(INT32, FLOAT32) == FLOAT32
+
+    def test_width_promotion(self):
+        assert common_type(INT32, INT64) == INT64
+        assert common_type(FLOAT32, FLOAT64) == FLOAT64
+
+    def test_index_and_int(self):
+        assert common_type(INDEX, INT32) == INT32
+
+    def test_tuple_promotion(self):
+        left = tuple_of(INT32, FLOAT32)
+        right = tuple_of(FLOAT32, FLOAT32)
+        assert common_type(left, right) == tuple_of(FLOAT32, FLOAT32)
+
+    def test_mismatched_tuple_arity_raises(self):
+        with pytest.raises(IRError):
+            common_type(tuple_of(INT32), tuple_of(INT32, INT32))
+
+    def test_tensor_promotion(self):
+        assert common_type(tensor(INT32, 2), tensor(FLOAT32, 2)) == tensor(FLOAT32, 2)
+
+    def test_mismatched_tensor_rank_raises(self):
+        with pytest.raises(IRError):
+            common_type(tensor(INT32, 1), tensor(INT32, 2))
