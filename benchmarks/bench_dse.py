@@ -1,0 +1,143 @@
+"""E7 — design-space exploration wall-clock: cold vs memoized vs parallel.
+
+Times a ≥ 50-point sweep over gemm's tiling/parallelism/metapipelining
+space three ways:
+
+* **cold** — the naive serial loop: every point pays full tiling,
+  generation and analysis with all caches disabled (the pre-engine
+  behaviour);
+* **memoized** — the engine's serial path: area pre-filter pruning plus
+  the hash-consed tiling/analysis caches;
+* **parallel** — additionally fanning surviving points across a
+  ``multiprocessing`` pool (one worker per CPU; on single-CPU hosts this
+  degenerates to the serial path and is reported as such).
+
+The script verifies that the memoized path returns *identical* numbers to
+the uncached path for every surviving point, asserts the ≥ 3× speedup
+target, and appends the measurements to ``BENCH_dse.json`` at the repo
+root so the performance trajectory is tracked across PRs.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_dse.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.dse.cache import ANALYSIS_CACHE
+from repro.dse.engine import explore
+from repro.dse.space import default_space
+
+BENCHMARK = "gemm"
+SIZES = {"m": 1024, "n": 1024, "p": 1024}
+SPEEDUP_TARGET = 3.0
+MIN_POINTS = 50
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_dse.json"
+
+
+def _sweep_space():
+    return default_space(
+        {name: SIZES[name] for name in ("m", "n", "p")},
+        pars=(4, 8, 16, 32),
+        max_tiles_per_dim=3,
+    )
+
+
+def run() -> dict:
+    space = _sweep_space()
+    assert len(space) >= MIN_POINTS, f"sweep has only {len(space)} points"
+
+    ANALYSIS_CACHE.clear()
+    started = time.perf_counter()
+    cold = explore(BENCHMARK, sizes=SIZES, space=space, memoize=False, prune=False)
+    t_cold = time.perf_counter() - started
+
+    ANALYSIS_CACHE.clear()
+    started = time.perf_counter()
+    memoized = explore(BENCHMARK, sizes=SIZES, space=space, memoize=True, prune=True)
+    t_memoized = time.perf_counter() - started
+
+    cpus = os.cpu_count() or 1
+    ANALYSIS_CACHE.clear()
+    started = time.perf_counter()
+    parallel = explore(
+        BENCHMARK, sizes=SIZES, space=space, memoize=True, prune=True, workers=cpus
+    )
+    t_parallel = time.perf_counter() - started
+
+    # The memoized path must return the same numbers as the uncached loop
+    # for every point it evaluated.
+    cold_by_label = {r.label: r for r in cold.evaluated}
+    mismatches = []
+    for result in memoized.evaluated:
+        reference = cold_by_label[result.label]
+        if (
+            result.cycles != reference.cycles
+            or result.logic != reference.logic
+            or result.ffs != reference.ffs
+            or result.bram_bits != reference.bram_bits
+            or result.read_bytes != reference.read_bytes
+        ):
+            mismatches.append(result.label)
+    assert not mismatches, f"memoized results diverge from uncached: {mismatches[:5]}"
+
+    speedup_memoized = t_cold / t_memoized
+    speedup_parallel = t_cold / t_parallel
+    best = max(speedup_memoized, speedup_parallel)
+
+    record = {
+        "benchmark": BENCHMARK,
+        "sizes": SIZES,
+        "points": len(space),
+        "evaluated": len(memoized.evaluated),
+        "pruned": len(memoized.pruned),
+        "workers_parallel": parallel.workers,
+        "seconds_cold": round(t_cold, 4),
+        "seconds_memoized": round(t_memoized, 4),
+        "seconds_parallel": round(t_parallel, 4),
+        "speedup_memoized": round(speedup_memoized, 2),
+        "speedup_parallel": round(speedup_parallel, 2),
+        "speedup_best": round(best, 2),
+        "identical_numbers": True,
+        "pareto_size": len(memoized.pareto),
+        "cache_stats": memoized.cache_stats,
+    }
+
+    print(
+        f"[DSE sweep] {BENCHMARK} {len(space)} points: "
+        f"cold {t_cold:.2f}s | memoized+pruned {t_memoized:.2f}s "
+        f"({speedup_memoized:.1f}x) | parallel x{parallel.workers} {t_parallel:.2f}s "
+        f"({speedup_parallel:.1f}x)"
+    )
+    print(f"[DSE sweep] {len(memoized.pruned)} points pruned by the area pre-filter")
+    print(memoized.summary())
+
+    assert best >= SPEEDUP_TARGET, (
+        f"engine speedup {best:.2f}x below the {SPEEDUP_TARGET:.0f}x target"
+    )
+    return record
+
+
+def main() -> int:
+    record = run()
+    history = []
+    if RESULT_PATH.exists():
+        try:
+            history = json.loads(RESULT_PATH.read_text())
+            if not isinstance(history, list):
+                history = [history]
+        except json.JSONDecodeError:
+            history = []
+    history.append(record)
+    RESULT_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"[DSE sweep] appended record to {RESULT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ from repro.hw.controllers import (
     SequentialController,
 )
 from repro.hw.design import HardwareDesign
+from repro.dse.cache import ANALYSIS_CACHE
 from repro.hw.templates import (
     CAM,
     Buffer,
@@ -71,7 +72,26 @@ _LANE_DSPS = 2.0
 
 
 def area_of_module(module: HardwareModule) -> AreaEstimate:
-    """Resource estimate for a single hardware module."""
+    """Resource estimate for a single hardware module.
+
+    Memoised on the parameters each template's cost actually depends on
+    (lanes, banks, capacity, entries, stage count); estimates are immutable
+    value objects, so sharing one instance across designs is safe.
+    """
+    if not ANALYSIS_CACHE.enabled:
+        return _area_of_module(module)
+    key = (
+        type(module).__name__,
+        getattr(module, "lanes", 0),
+        getattr(module, "banks", 0),
+        getattr(module, "capacity_bits", 0),
+        getattr(module, "entries", 0),
+        getattr(module, "num_stages", 0),
+    )
+    return ANALYSIS_CACHE.memoize("module_area", key, lambda: _area_of_module(module))
+
+
+def _area_of_module(module: HardwareModule) -> AreaEstimate:
     if isinstance(module, VectorUnit):
         return AreaEstimate(
             logic=_LANE_LOGIC * module.lanes,

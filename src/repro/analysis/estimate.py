@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.access import linear_form
+from repro.dse.cache import ANALYSIS_CACHE, env_signature
 from repro.errors import AnalysisError
 from repro.ppl.ir import (
     ArrayApply,
@@ -92,8 +93,34 @@ class StaticEvaluator:
     ) -> None:
         self.env = dict(env)
         self.shapes = dict(shapes or {})
+        # Per-instance result cache keyed by node identity: size expressions
+        # (domain extents, tile sizes) are re-evaluated many times during
+        # hardware generation, always against this fixed environment.  The
+        # node is stored alongside its value so cached ids stay pinned.
+        self._eval_cache: Dict[int, Tuple[Expr, Optional[int]]] = {}
+        self._signature: Optional[Tuple] = None
+
+    def signature(self) -> Tuple:
+        """Name-keyed signature of everything this evaluator can observe.
+
+        Used as the workload half of memoisation keys: two evaluators with
+        equal signatures produce identical results for structurally
+        identical expressions.  The environment must not be mutated after
+        the first call.
+        """
+        if self._signature is None:
+            self._signature = env_signature(self.env, self.shapes)
+        return self._signature
 
     def eval(self, expr: Expr) -> Optional[int]:
+        hit = self._eval_cache.get(id(expr))
+        if hit is not None:
+            return hit[1]
+        value = self._eval_uncached(expr)
+        self._eval_cache[id(expr)] = (expr, value)
+        return value
+
+    def _eval_uncached(self, expr: Expr) -> Optional[int]:
         if isinstance(expr, Const):
             return int(expr.value) if isinstance(expr.value, (int, float)) else None
         if isinstance(expr, Sym):
@@ -164,9 +191,23 @@ def count_scalar_ops(node: Node, evaluator: StaticEvaluator) -> float:
     combine functions of folds are excluded (they run once per partial
     accumulator pair, a negligible fraction of the element work and dependent
     on the parallelisation strategy rather than the program).
+
+    Results are memoised in the process-global analysis cache keyed by
+    structural hash + workload signature, so repeated counts of shared
+    subtrees — within one hardware generation and across design points —
+    cost one dictionary lookup.
     """
     if node is None:
         return 0.0
+    if not ANALYSIS_CACHE.enabled:
+        return _count_scalar_ops(node, evaluator)
+    key = (node.structural_hash(), evaluator.signature())
+    return ANALYSIS_CACHE.memoize(
+        "scalar_ops", key, lambda: _count_scalar_ops(node, evaluator)
+    )
+
+
+def _count_scalar_ops(node: Node, evaluator: StaticEvaluator) -> float:
     if isinstance(node, Pattern):
         trips = evaluator.domain_trips(node.domain)
         per_iteration = 0.0
@@ -250,8 +291,34 @@ class TrafficAnalyzer:
 
     # -- public API ----------------------------------------------------------
     def analyze(self, root: Optional[Node] = None) -> List[AccessRecord]:
+        """Enumerate the access records under ``root`` (default: whole body).
+
+        Memoised on (root structure, program input set, workload, word
+        size): hardware generation re-analyzes every pattern it lowers, and
+        a design-space sweep re-analyzes the same tiled subtrees across
+        points.  Records are treated as immutable by all consumers; the
+        cached list is copied on every hit so accidental mutation of the
+        returned list cannot poison the cache.
+        """
+        target = root if root is not None else self.program.body
+        if not ANALYSIS_CACHE.enabled:
+            self.records = self._collect(target)
+            return self.records
+        key = (
+            target.structural_hash(),
+            tuple(sorted(self.input_names)),
+            self.evaluator.signature(),
+            self.word_bytes,
+        )
+        cached = ANALYSIS_CACHE.memoize(
+            "traffic_records", key, lambda: tuple(self._collect(target))
+        )
+        self.records = list(cached)
+        return self.records
+
+    def _collect(self, root: Node) -> List[AccessRecord]:
         self.records = []
-        self._visit(root if root is not None else self.program.body, trips=1, inner_syms=())
+        self._visit(root, trips=1, inner_syms=())
         return self.records
 
     def words_by_array(self, copies_only: bool = False) -> Dict[str, int]:

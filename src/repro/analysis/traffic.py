@@ -26,6 +26,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.analysis.access import linear_form
 from repro.analysis.estimate import StaticEvaluator, input_shapes, workload_env
+from repro.dse.cache import ANALYSIS_CACHE
 from repro.ppl.ir import (
     ArrayApply,
     ArrayCopy,
@@ -201,10 +202,34 @@ class _TrafficWalker:
         site["row_words"] = max(site["row_words"], max(1, row_words))
 
 
+def _copy_report(report: TrafficReport) -> TrafficReport:
+    return TrafficReport(
+        label=report.label,
+        entries={
+            array: TrafficEntry(entry.array, entry.main_memory_words, entry.on_chip_words)
+            for array, entry in report.entries.items()
+        },
+    )
+
+
 def minimum_reads(program: Program, bindings: Mapping[str, object]) -> TrafficReport:
-    """Minimum main-memory words read and on-chip storage per input array."""
+    """Minimum main-memory words read and on-chip storage per input array.
+
+    Memoised on (program structure, input set, workload); callers mutate
+    the report label, so cache hits return a fresh copy.
+    """
     evaluator = StaticEvaluator(workload_env(program, bindings), input_shapes(program, bindings))
-    return _TrafficWalker(program, evaluator).run()
+    if not ANALYSIS_CACHE.enabled:
+        return _TrafficWalker(program, evaluator).run()
+    key = (
+        program.body.structural_hash(),
+        tuple(sorted(array.name for array in program.inputs)),
+        evaluator.signature(),
+    )
+    cached = ANALYSIS_CACHE.memoize(
+        "minimum_reads", key, lambda: _TrafficWalker(program, evaluator).run()
+    )
+    return _copy_report(cached)
 
 
 def analyze_traffic(

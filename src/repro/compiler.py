@@ -3,6 +3,13 @@
 This is the public entry point tying together the two halves of Figure 1:
 the pattern transformations of Section 4 (:mod:`repro.transforms`) and the
 hardware generation of Section 5 (:mod:`repro.hw`).
+
+Repeated compilations share work through the process-global analysis cache
+(:mod:`repro.dse.cache`): tiling results are memoised on the program's
+structural hash plus the tile-relevant configuration, and the per-node
+analyses on structural hash plus workload.  :func:`compile_point` is the
+design-space-exploration entry: it compiles one
+:class:`~repro.dse.space.DesignPoint` instead of a hand-built config.
 """
 
 from __future__ import annotations
@@ -18,10 +25,11 @@ from repro.ppl.program import Program
 from repro.sim.engine import simulate
 from repro.sim.metrics import SimulationResult
 from repro.sim.model import PerformanceModel
+from repro.dse.cache import ANALYSIS_CACHE
 from repro.target.device import Board, DEFAULT_BOARD
 from repro.transforms.tiling import TilingDriver, TilingResult
 
-__all__ = ["CompilationResult", "compile_program"]
+__all__ = ["CompilationResult", "compile_program", "compile_point", "clear_compilation_caches"]
 
 
 @dataclass
@@ -67,3 +75,29 @@ def compile_program(
         design=design,
         area=area,
     )
+
+
+def compile_point(
+    program: Program,
+    point,
+    bindings: Mapping[str, object],
+    board: Board = DEFAULT_BOARD,
+) -> CompilationResult:
+    """Compile one design point (:class:`repro.dse.space.DesignPoint`).
+
+    The point's tile sizes and metapipelining flag become the compile
+    config and its parallelisation factor the innermost ``par``; repeated
+    points sharing tile sizes reuse one tiling result via the analysis
+    cache.
+    """
+    return compile_program(program, point.config(), bindings, board=board, par=point.par)
+
+
+def clear_compilation_caches() -> None:
+    """Drop all memoised tiling results and analysis values.
+
+    Only needed to release memory after large sweeps or to force a cold
+    compilation — cached entries never go stale (see
+    :mod:`repro.dse.cache` for the invalidation rules).
+    """
+    ANALYSIS_CACHE.clear()

@@ -1,0 +1,45 @@
+"""Design-space exploration over tile sizes, parallelism and metapipelining.
+
+The subsystem has three layers:
+
+* :mod:`repro.dse.cache` — the process-global :class:`AnalysisCache` backing
+  the memoised analyses and the tiling-result cache (importable from
+  anywhere; it depends only on the standard library).
+* :mod:`repro.dse.space` — design-point enumeration and the cheap analytical
+  area pre-filter used to prune infeasible points before simulation.
+* :mod:`repro.dse.engine` — the exploration driver: prune → evaluate
+  (serially or across a ``multiprocessing`` pool) → Pareto-rank.
+
+``engine`` is imported lazily: it pulls in the whole compiler, and the
+analysis modules import :mod:`repro.dse.cache` at startup — an eager import
+here would be circular.
+"""
+
+from repro.dse.cache import ANALYSIS_CACHE, AnalysisCache
+
+__all__ = [
+    "ANALYSIS_CACHE",
+    "AnalysisCache",
+    "DesignPoint",
+    "DesignSpace",
+    "ExplorationResult",
+    "PointResult",
+    "default_space",
+    "estimate_point_area",
+    "explore",
+]
+
+_ENGINE_EXPORTS = {"ExplorationResult", "PointResult", "explore"}
+_SPACE_EXPORTS = {"DesignPoint", "DesignSpace", "default_space", "estimate_point_area"}
+
+
+def __getattr__(name: str):
+    if name in _ENGINE_EXPORTS:
+        from repro.dse import engine
+
+        return getattr(engine, name)
+    if name in _SPACE_EXPORTS:
+        from repro.dse import space
+
+        return getattr(space, name)
+    raise AttributeError(f"module 'repro.dse' has no attribute {name!r}")

@@ -1,0 +1,166 @@
+"""Process-global memoisation cache for the hot compiler analyses.
+
+The design-space exploration engine evaluates many points that share most
+of their compilation work: points differing only in parallelisation factor
+or metapipelining share the entire tiling flow, and the per-node analyses
+(`count_scalar_ops`, traffic analysis, area costing) are re-run on
+structurally identical subtrees over and over.  This module provides the
+shared cache those analyses memoise through.
+
+Keys are built from two ingredients:
+
+* the **structural hash** of the IR subtree (``Node.structural_hash``),
+  which identifies a subtree up to symbol naming, and
+* the **environment signature** — the name → value binding of every size
+  symbol and input shape the analysis can observe.
+
+Because every symbol lookup inside the analyses goes through an environment
+keyed by name (sizes) or an input-shape table keyed by name, a matching
+(structure, names → values) pair fully determines the analysis result; the
+cache is exact, not approximate.
+
+Invalidation rules:
+
+* Entries never go stale through IR mutation — IR nodes are immutable and
+  pattern ``meta`` (which *is* mutable) is excluded from the structural
+  hash, so only meta-independent analyses may memoise here.
+* New workloads and new programs produce new keys; nothing needs flushing.
+* :meth:`AnalysisCache.clear` drops everything (used between benchmark
+  sweeps and by tests); :meth:`AnalysisCache.disabled` turns the cache off
+  for a scope (used to time the cold path).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from typing import Callable, Dict, Hashable, Iterator, Mapping, Optional, Tuple
+
+__all__ = [
+    "AnalysisCache",
+    "ANALYSIS_CACHE",
+    "env_signature",
+    "config_signature",
+]
+
+_MISSING = object()
+
+
+class AnalysisCache:
+    """A set of named memo tables with hit/miss accounting.
+
+    Tables are plain dicts keyed by whatever hashable key the analysis
+    chooses (conventionally ``(structural_hash, env_signature)``).  The
+    cache can be disabled globally, in which case :meth:`memoize` always
+    recomputes — the mechanism the benchmarks use to measure the uncached
+    baseline.
+    """
+
+    def __init__(self) -> None:
+        self.enabled: bool = True
+        self._tables: Dict[str, Dict[Hashable, object]] = {}
+        self.hits: Counter = Counter()
+        self.misses: Counter = Counter()
+
+    # -- core API ------------------------------------------------------------
+    def table(self, name: str) -> Dict[Hashable, object]:
+        if name not in self._tables:
+            self._tables[name] = {}
+        return self._tables[name]
+
+    def memoize(self, name: str, key: Hashable, compute: Callable[[], object]) -> object:
+        """Return the cached value for ``key`` or compute and store it."""
+        if not self.enabled:
+            return compute()
+        table = self.table(name)
+        value = table.get(key, _MISSING)
+        if value is not _MISSING:
+            self.hits[name] += 1
+            return value
+        self.misses[name] += 1
+        value = compute()
+        table[key] = value
+        return value
+
+    def put(self, name: str, key: Hashable, value: object) -> None:
+        """Seed an entry directly (bypasses hit/miss accounting)."""
+        if self.enabled:
+            self.table(name)[key] = value
+
+    # -- management ----------------------------------------------------------
+    def clear(self, name: Optional[str] = None) -> None:
+        """Drop one table, or every table plus the hit/miss counters."""
+        if name is not None:
+            self._tables.pop(name, None)
+            return
+        self._tables.clear()
+        self.hits.clear()
+        self.misses.clear()
+
+    def size(self, name: Optional[str] = None) -> int:
+        if name is not None:
+            return len(self._tables.get(name, ()))
+        return sum(len(t) for t in self._tables.values())
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-table entry/hit/miss counts (for benchmark reports)."""
+        names = set(self._tables) | set(self.hits) | set(self.misses)
+        return {
+            name: {
+                "entries": len(self._tables.get(name, ())),
+                "hits": self.hits.get(name, 0),
+                "misses": self.misses.get(name, 0),
+            }
+            for name in sorted(names)
+        }
+
+    @contextmanager
+    def disabled(self) -> Iterator[None]:
+        """Temporarily disable memoisation (the cold/uncached path)."""
+        previous = self.enabled
+        self.enabled = False
+        try:
+            yield
+        finally:
+            self.enabled = previous
+
+
+#: The process-global cache every memoised analysis shares.  A forked
+#: worker pool inherits a copy-on-write snapshot of the parent's warm cache.
+ANALYSIS_CACHE = AnalysisCache()
+
+
+def env_signature(
+    env: Mapping, shapes: Optional[Mapping[str, Tuple[int, ...]]] = None
+) -> Tuple:
+    """Signature of a workload environment, keyed by *names* not identities.
+
+    ``env`` maps size symbols (``repro.ppl.ir.Sym``) to integers; ``shapes``
+    maps input-array names to shape tuples.  Analyses observe symbols only
+    through these two mappings, so the signature captures everything the
+    analysis result can depend on.
+    """
+    sizes = tuple(sorted((sym.name, int(value)) for sym, value in env.items()))
+    if not shapes:
+        return (sizes, ())
+    shape_sig = tuple(sorted((name, tuple(shape)) for name, shape in shapes.items()))
+    return (sizes, shape_sig)
+
+
+def config_signature(config, include_metapipelining: bool = False) -> Tuple:
+    """Signature of the tiling-relevant part of a :class:`CompileConfig`.
+
+    The tiling flow reads the tiling flag, the tile sizes and the on-chip /
+    split budgets — but *not* the parallelisation factors or (unless
+    requested) the metapipelining flag, so design points differing only in
+    those share one tiling result.
+    """
+    parts: Tuple = (
+        bool(config.tiling),
+        tuple(sorted(config.tile_sizes.items())),
+        int(config.on_chip_budget_words),
+        config.split_threshold_words,
+    )
+    if include_metapipelining:
+        parts = parts + (bool(config.metapipelining),)
+    return parts

@@ -1,0 +1,367 @@
+"""The design-space exploration engine: prune → evaluate → Pareto-rank.
+
+:func:`explore` drives the paper's central loop — tile a parallel-pattern
+program, generate a hardware design, estimate area and cycles — over a
+whole :class:`~repro.dse.space.DesignSpace` instead of one hand-picked
+configuration per benchmark:
+
+1. every point is scored by the closed-form area estimator and points that
+   cannot fit the board are discarded before any compilation work;
+2. surviving points are compiled and simulated, either serially (sharing
+   the process-global analysis cache, so points differing only in
+   parallelism or metapipelining reuse one tiling result) or fanned out
+   across a ``multiprocessing`` pool;
+3. results come back Pareto-ranked on (cycles, area).
+
+:func:`evaluate_config` is the shared single-point path; the Figure 7
+harness routes its three-configuration sweep through it so the whole
+evaluation stack benefits from the same caches.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.apps import get_benchmark
+from repro.apps.base import Benchmark
+from repro.compiler import CompilationResult, compile_program
+from repro.config import CompileConfig
+from repro.dse.cache import ANALYSIS_CACHE
+from repro.dse.space import (
+    DesignPoint,
+    DesignSpace,
+    default_space,
+    estimate_point_area,
+)
+from repro.ppl.program import Program
+from repro.sim.metrics import SimulationResult
+from repro.sim.model import PerformanceModel
+from repro.target.device import Board, DEFAULT_BOARD
+
+__all__ = [
+    "EvaluatedConfig",
+    "PointResult",
+    "ExplorationResult",
+    "evaluate_config",
+    "evaluate_point",
+    "explore",
+    "pareto_front",
+    "pool_context",
+]
+
+
+@dataclass
+class EvaluatedConfig:
+    """Rich single-configuration outcome (keeps the compilation artifacts)."""
+
+    label: str
+    compilation: CompilationResult
+    simulation: SimulationResult
+
+
+@dataclass
+class PointResult:
+    """Scalar outcome of one design point (cheap to ship across processes)."""
+
+    point: DesignPoint
+    cycles: float = 0.0
+    seconds: float = 0.0
+    logic: float = 0.0
+    ffs: float = 0.0
+    bram_bits: float = 0.0
+    dsps: float = 0.0
+    utilization: Dict[str, float] = field(default_factory=dict)
+    read_bytes: int = 0
+    write_bytes: int = 0
+    pruned: bool = False
+    prune_reason: str = ""
+
+    @property
+    def label(self) -> str:
+        return self.point.label
+
+    @property
+    def max_utilization(self) -> float:
+        return max(self.utilization.values()) if self.utilization else 0.0
+
+
+@dataclass
+class ExplorationResult:
+    """The outcome of one exploration run."""
+
+    benchmark: str
+    sizes: Dict[str, int]
+    board_name: str
+    evaluated: List[PointResult] = field(default_factory=list)
+    pruned: List[PointResult] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    workers: int = 1
+    cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def pareto(self) -> List[PointResult]:
+        """Pareto-optimal points on (cycles, area), fastest first."""
+        return pareto_front(self.evaluated)
+
+    @property
+    def best(self) -> Optional[PointResult]:
+        """The feasible point with the fewest cycles."""
+        fits = [r for r in self.evaluated if r.max_utilization <= 1.0]
+        pool = fits or self.evaluated
+        return min(pool, key=lambda r: r.cycles) if pool else None
+
+    def summary(self) -> str:
+        header = (
+            f"{'design point':<40} {'cycles':>14} {'logic':>8} {'mem KiB':>9} {'util':>6}"
+        )
+        lines = [
+            f"DSE {self.benchmark} on {self.board_name}: "
+            f"{len(self.evaluated)} evaluated, {len(self.pruned)} pruned, "
+            f"{self.elapsed_seconds:.2f}s ({self.workers} worker(s))",
+            header,
+            "-" * len(header),
+        ]
+        for result in self.pareto:
+            lines.append(
+                f"{result.label:<40} {result.cycles:>14.0f} {result.logic:>8.0f} "
+                f"{result.bram_bits / 8 / 1024:>9.1f} {result.max_utilization:>6.1%}"
+            )
+        return "\n".join(lines)
+
+
+def pareto_front(results: Sequence[PointResult]) -> List[PointResult]:
+    """Points not dominated on (cycles, logic+memory area), fastest first.
+
+    A point dominates another when it is no worse on both cycles and area
+    and strictly better on at least one.
+    """
+    def area_key(r: PointResult) -> float:
+        return r.max_utilization if r.utilization else r.logic
+
+    ordered = sorted(results, key=lambda r: (r.cycles, area_key(r)))
+    front: List[PointResult] = []
+    best_area = float("inf")
+    for result in ordered:
+        area = area_key(result)
+        if area < best_area:
+            front.append(result)
+            best_area = area
+    return front
+
+
+# ---------------------------------------------------------------------------
+# Single-point evaluation (shared by the engine, Figure 7 and the benchmarks)
+# ---------------------------------------------------------------------------
+
+
+def evaluate_config(
+    program: Program,
+    config: CompileConfig,
+    bindings: Mapping[str, object],
+    board: Board = DEFAULT_BOARD,
+    par: Optional[int] = None,
+    model: Optional[PerformanceModel] = None,
+) -> EvaluatedConfig:
+    """Compile and simulate one configuration, keeping the artifacts.
+
+    This is the engine's serial evaluation path; it shares the
+    process-global analysis cache, so configurations with equal tile sizes
+    reuse one tiling result and the per-node analyses hit warm entries.
+    """
+    compilation = compile_program(program, config, bindings, board=board, par=par)
+    simulation = compilation.simulate(model)
+    return EvaluatedConfig(label=config.label, compilation=compilation, simulation=simulation)
+
+
+def evaluate_point(
+    program: Program,
+    bindings: Mapping[str, object],
+    point: DesignPoint,
+    board: Board = DEFAULT_BOARD,
+    model: Optional[PerformanceModel] = None,
+) -> PointResult:
+    """Evaluate one design point to its scalar (cycles, area) outcome."""
+    evaluated = evaluate_config(
+        program, point.config(), bindings, board=board, par=point.par, model=model
+    )
+    area = evaluated.compilation.area
+    design = evaluated.compilation.design
+    return PointResult(
+        point=point,
+        cycles=evaluated.simulation.cycles,
+        seconds=evaluated.simulation.seconds,
+        logic=area.total.logic,
+        ffs=area.total.ffs,
+        bram_bits=area.total.bram_bits,
+        dsps=area.total.dsps,
+        utilization={
+            "logic": area.logic_utilization,
+            "ffs": area.ff_utilization,
+            "bram": area.bram_utilization,
+            "dsps": area.dsp_utilization,
+        },
+        read_bytes=design.main_memory_read_bytes,
+        write_bytes=design.main_memory_write_bytes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker-pool plumbing
+# ---------------------------------------------------------------------------
+
+def pool_context():
+    """The multiprocessing context used for evaluation pools.
+
+    Prefers ``fork`` so workers inherit the parent's warm analysis cache
+    (copy-on-write); falls back to the platform default elsewhere.
+    """
+    import multiprocessing as mp
+
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context()
+
+
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_worker(
+    bench_name: str, sizes: Dict[str, int], seed: int, board, model, memoize: bool = True
+) -> None:
+    bench = get_benchmark(bench_name)
+    _WORKER_STATE["program"] = bench.build()
+    _WORKER_STATE["bindings"] = bench.bindings(sizes, np.random.default_rng(seed))
+    _WORKER_STATE["board"] = board
+    _WORKER_STATE["model"] = model
+    if not memoize:
+        ANALYSIS_CACHE.clear()
+        ANALYSIS_CACHE.enabled = False
+
+
+def _evaluate_point_task(point: DesignPoint) -> PointResult:
+    return evaluate_point(
+        _WORKER_STATE["program"],
+        _WORKER_STATE["bindings"],
+        point,
+        board=_WORKER_STATE["board"],
+        model=_WORKER_STATE["model"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# The exploration driver
+# ---------------------------------------------------------------------------
+
+
+def explore(
+    bench: Union[str, Benchmark],
+    sizes: Optional[Mapping[str, int]] = None,
+    board: Board = DEFAULT_BOARD,
+    space: Optional[DesignSpace] = None,
+    budget: float = 1.0,
+    workers: Optional[int] = None,
+    memoize: bool = True,
+    prune: bool = True,
+    model: Optional[PerformanceModel] = None,
+    seed: int = 3,
+) -> ExplorationResult:
+    """Explore a benchmark's design space and return Pareto-ranked results.
+
+    Args:
+        bench: benchmark name (``repro.apps``) or a :class:`Benchmark`.
+        sizes: workload sizes; defaults to the benchmark's evaluation sizes.
+        board: target board; prune decisions are taken against its device.
+        space: design points to consider; defaults to
+            :func:`repro.dse.space.default_space` over the benchmark's tiled
+            dimensions.
+        budget: fraction of each device resource a point may use before the
+            analytical pre-filter prunes it (1.0 = the whole chip).
+        workers: worker processes; ``None`` and 1 evaluate in-process,
+            larger values fan points out over a ``multiprocessing`` pool
+            (requires ``bench`` to be a registered benchmark name).
+        memoize: share tiling results and analysis values through the
+            process-global cache.  ``False`` clears the cache and disables
+            it for the duration of the run — the cold path the benchmarks
+            time against.
+        prune: apply the analytical area pre-filter before compiling.
+        model: performance-model override for simulation.
+        seed: RNG seed for input generation (results are size-driven, so
+            the seed only affects array contents).
+    """
+    benchmark = get_benchmark(bench) if isinstance(bench, str) else bench
+    sizes = dict(sizes or benchmark.default_sizes)
+    bindings = benchmark.bindings(sizes, np.random.default_rng(seed))
+    program = benchmark.build()
+    if space is None:
+        tiled_dims = {name: sizes[name] for name in benchmark.tile_sizes if name in sizes}
+        space = default_space(tiled_dims)
+
+    from repro.analysis.estimate import input_shapes
+
+    shapes = input_shapes(program, bindings)
+    started = time.perf_counter()
+
+    survivors: List[DesignPoint] = []
+    pruned_results: List[PointResult] = []
+    if prune:
+        for point in space:
+            decision = estimate_point_area(shapes, sizes, point, board, budget=budget)
+            if decision.feasible:
+                survivors.append(point)
+            else:
+                pruned_results.append(
+                    PointResult(
+                        point=point,
+                        logic=decision.logic,
+                        bram_bits=decision.bram_bits,
+                        dsps=decision.dsps,
+                        pruned=True,
+                        prune_reason=decision.reason,
+                    )
+                )
+    else:
+        survivors = list(space)
+
+    workers = workers if workers is not None else 1
+    workers = min(workers, len(survivors)) if survivors else 1
+
+    def _run_serial() -> List[PointResult]:
+        return [
+            evaluate_point(program, bindings, point, board=board, model=model)
+            for point in survivors
+        ]
+
+    def _run_pool() -> List[PointResult]:
+        with pool_context().Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(benchmark.name, sizes, seed, board, model, memoize),
+        ) as pool:
+            return pool.map(_evaluate_point_task, survivors)
+
+    if not memoize:
+        ANALYSIS_CACHE.clear()
+        with ANALYSIS_CACHE.disabled():
+            evaluated = _run_pool() if workers > 1 else _run_serial()
+    else:
+        evaluated = _run_pool() if workers > 1 else _run_serial()
+
+    elapsed = time.perf_counter() - started
+    # Workers memoize in their own forked copies of the cache, so parent
+    # stats would misrepresent a parallel run — report them only when the
+    # evaluation actually went through this process's cache.
+    stats = ANALYSIS_CACHE.stats() if memoize and workers <= 1 else {}
+    return ExplorationResult(
+        benchmark=benchmark.name,
+        sizes=sizes,
+        board_name=board.name,
+        evaluated=evaluated,
+        pruned=pruned_results,
+        elapsed_seconds=elapsed,
+        workers=workers,
+        cache_stats=stats,
+    )

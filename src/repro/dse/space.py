@@ -1,0 +1,269 @@
+"""Design-space enumeration and the cheap analytical area pre-filter.
+
+A :class:`DesignPoint` fixes everything the compiler needs to produce one
+hardware design: the tile size per size symbol, the innermost
+parallelisation factor and whether metapipelining is enabled.  The
+:func:`default_space` generator enumerates a benchmark's natural sweep —
+power-of-two tile sizes per tiled dimension crossed with parallelisation
+factors and the metapipelining flag — and :func:`estimate_point_area`
+scores a point with a closed-form resource estimate (no tiling, no
+hardware generation) so the exploration engine can discard points that
+cannot fit the board before paying for compilation.
+
+The estimator reuses the per-lane coefficients of the real area model
+(:mod:`repro.analysis.area`) so the pre-filter and the post-generation
+report agree about scale; it intentionally over-approximates buffer
+footprints (every tiled input double-buffered under metapipelining), so a
+generous ``budget`` headroom keeps false prunes rare.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.config import CompileConfig
+
+__all__ = [
+    "DesignPoint",
+    "DesignSpace",
+    "PruneDecision",
+    "default_space",
+    "estimate_point_area",
+    "tile_candidates",
+]
+
+WORD_BITS = 32
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate configuration of the design space.
+
+    ``tile_sizes`` is a sorted tuple of ``(size-name, tile)`` pairs; an
+    empty tuple denotes the untiled baseline configuration.
+    """
+
+    tile_sizes: Tuple[Tuple[str, int], ...] = ()
+    par: int = 16
+    metapipelining: bool = False
+
+    @property
+    def tiling(self) -> bool:
+        return bool(self.tile_sizes)
+
+    @property
+    def tiles(self) -> Dict[str, int]:
+        return dict(self.tile_sizes)
+
+    @property
+    def label(self) -> str:
+        if not self.tiling:
+            return f"baseline/par{self.par}"
+        tiles = ",".join(f"{name}={size}" for name, size in self.tile_sizes)
+        meta = "+meta" if self.metapipelining else ""
+        return f"tiles[{tiles}]/par{self.par}{meta}"
+
+    def config(self) -> CompileConfig:
+        """The compiler configuration realising this point."""
+        return CompileConfig(
+            tiling=self.tiling,
+            metapipelining=self.metapipelining and self.tiling,
+            tile_sizes=self.tiles,
+            par_factors={"inner": self.par},
+            default_par=self.par,
+        )
+
+    @staticmethod
+    def make(
+        tile_sizes: Optional[Mapping[str, int]] = None,
+        par: int = 16,
+        metapipelining: bool = False,
+    ) -> "DesignPoint":
+        return DesignPoint(
+            tile_sizes=tuple(sorted((tile_sizes or {}).items())),
+            par=par,
+            metapipelining=metapipelining,
+        )
+
+
+@dataclass
+class DesignSpace:
+    """An ordered, duplicate-free collection of design points."""
+
+    points: List[DesignPoint] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[DesignPoint]:
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def add(self, point: DesignPoint) -> None:
+        if point not in self.points:
+            self.points.append(point)
+
+    def extend(self, points: Iterable[DesignPoint]) -> "DesignSpace":
+        for point in points:
+            self.add(point)
+        return self
+
+
+def tile_candidates(extent: int, maximum: Optional[int] = None) -> List[int]:
+    """Power-of-two tile sizes for a dimension of the given extent."""
+    maximum = min(extent, maximum or extent)
+    sizes = []
+    size = 16
+    while size <= maximum:
+        sizes.append(size)
+        size *= 2
+    if not sizes:
+        sizes = [max(1, maximum)]
+    return sizes
+
+
+def default_space(
+    tiled_dims: Mapping[str, int],
+    pars: Sequence[int] = (4, 8, 16, 32),
+    metapipelining: Sequence[bool] = (False, True),
+    max_tiles_per_dim: int = 4,
+    max_points: Optional[int] = None,
+    include_baseline: bool = True,
+) -> DesignSpace:
+    """The natural sweep for a benchmark.
+
+    ``tiled_dims`` maps each size symbol the benchmark tiles to its full
+    extent (usually ``{name: sizes[name] for name in bench.tile_sizes}``).
+    Candidate tiles are the largest ``max_tiles_per_dim`` powers of two not
+    exceeding the extent; the cartesian product with ``pars`` and the
+    metapipelining flag forms the space, optionally decimated to
+    ``max_points`` with a deterministic stride.
+    """
+    space = DesignSpace()
+    if include_baseline:
+        for par in pars:
+            space.add(DesignPoint.make(None, par=par))
+
+    per_dim: List[List[Tuple[str, int]]] = []
+    for name, extent in sorted(tiled_dims.items()):
+        candidates = tile_candidates(extent)[-max_tiles_per_dim:]
+        per_dim.append([(name, size) for size in candidates])
+
+    for combo in itertools.product(*per_dim) if per_dim else ():
+        for par in pars:
+            for meta in metapipelining:
+                space.add(
+                    DesignPoint(tile_sizes=tuple(sorted(combo)), par=par, metapipelining=meta)
+                )
+
+    if max_points is not None and len(space) > max_points:
+        stride = len(space.points) / max_points
+        kept = [space.points[int(i * stride)] for i in range(max_points)]
+        space = DesignSpace().extend(kept)
+    return space
+
+
+# ---------------------------------------------------------------------------
+# Cheap analytical area estimate (the pre-simulation prune)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PruneDecision:
+    """Outcome of the area pre-filter for one point."""
+
+    point: DesignPoint
+    feasible: bool
+    reason: str = ""
+    logic: float = 0.0
+    bram_bits: float = 0.0
+    dsps: float = 0.0
+
+
+def _tiled_footprint_words(
+    shape: Tuple[int, ...],
+    sizes: Mapping[str, int],
+    tiles: Mapping[str, int],
+) -> int:
+    """Upper bound on the on-chip words one input's tile occupies.
+
+    Each array dimension is matched to a size symbol by extent; a tiled
+    symbol caps that dimension at its tile size, untiled dimensions stay
+    whole (they are either small or preloaded).
+    """
+    words = 1
+    for extent in shape:
+        tiled_extent = extent
+        for name in sorted(sizes):
+            if sizes[name] == extent and name in tiles:
+                tiled_extent = min(tiled_extent, tiles[name])
+                break
+        words *= max(1, tiled_extent)
+    return words
+
+
+def estimate_point_area(
+    shapes: Mapping[str, Tuple[int, ...]],
+    sizes: Mapping[str, int],
+    point: DesignPoint,
+    board,
+    budget: float = 1.0,
+) -> PruneDecision:
+    """Closed-form feasibility check of a design point against the board.
+
+    Uses the area model's per-lane coefficients for compute resources and a
+    conservative tile-footprint bound for on-chip memory (double-buffered
+    under metapipelining).  Returns an infeasible decision when any of
+    logic, block RAM or DSPs would exceed ``budget`` × the device capacity.
+    This runs in microseconds — no tiling, no hardware generation — which
+    is what lets the exploration engine discard hopeless points before
+    paying for compilation.
+    """
+    from repro.analysis.area import _LANE_DSPS, _LANE_LOGIC
+
+    tiles = point.tiles
+    bram_bits = 0.0
+    for name, shape in shapes.items():
+        words = _tiled_footprint_words(shape, sizes, tiles) if point.tiling else 0
+        buffers = 2.0 if point.metapipelining else 1.0
+        bram_bits += words * WORD_BITS * buffers
+
+    # One vector unit plus one reduction tree worth of lanes, the dominant
+    # compute cost of every benchmark's inner pattern.
+    lane_factor = 2.5  # vector unit + log-depth reduction tree
+    logic = point.par * _LANE_LOGIC * lane_factor + 8_000.0
+    dsps = point.par * _LANE_DSPS * lane_factor
+
+    device = board.device
+    if bram_bits > device.bram_bits * budget:
+        return PruneDecision(
+            point,
+            False,
+            reason=(
+                f"on-chip tiles need {bram_bits / 8 / 1024:.0f} KiB, "
+                f"budget {device.bram_bits * budget / 8 / 1024:.0f} KiB"
+            ),
+            logic=logic,
+            bram_bits=bram_bits,
+            dsps=dsps,
+        )
+    if logic > device.logic_cells * budget:
+        return PruneDecision(
+            point,
+            False,
+            reason=f"logic estimate {logic:.0f} exceeds {device.logic_cells * budget:.0f}",
+            logic=logic,
+            bram_bits=bram_bits,
+            dsps=dsps,
+        )
+    if dsps > device.dsps * budget:
+        return PruneDecision(
+            point,
+            False,
+            reason=f"DSP estimate {dsps:.0f} exceeds {device.dsps * budget:.0f}",
+            logic=logic,
+            bram_bits=bram_bits,
+            dsps=dsps,
+        )
+    return PruneDecision(point, True, logic=logic, bram_bits=bram_bits, dsps=dsps)

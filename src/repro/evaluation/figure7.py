@@ -19,8 +19,9 @@ import numpy as np
 from repro.analysis.area import relative_area
 from repro.apps import all_benchmarks, get_benchmark
 from repro.apps.base import Benchmark
-from repro.compiler import CompilationResult, compile_program
+from repro.compiler import CompilationResult
 from repro.config import BASELINE, CompileConfig
+from repro.dse.engine import evaluate_config
 from repro.sim.metrics import SimulationResult, speedup
 from repro.sim.model import PerformanceModel
 from repro.target.device import DEFAULT_BOARD, Board
@@ -138,7 +139,14 @@ def run_benchmark(
     par: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
 ) -> BenchmarkResult:
-    """Compile and simulate all three configurations of one benchmark."""
+    """Compile and simulate all three configurations of one benchmark.
+
+    The sweep runs through the DSE engine's single-configuration path
+    (:func:`repro.dse.engine.evaluate_config`), so the tiling and
+    tiling+metapipelining configurations — which share tile sizes — reuse
+    one memoised tiling result, and all three share the warm analysis
+    caches.
+    """
     bench = get_benchmark(name)
     sizes = dict(sizes or bench.default_sizes)
     bindings = bench.bindings(sizes, rng or np.random.default_rng(3))
@@ -148,9 +156,10 @@ def run_benchmark(
     configs = _configs_for(bench)
     results: Dict[str, ConfigResult] = {}
     for label, config in configs.items():
-        compilation = compile_program(program, config, bindings, board=board, par=par)
-        simulation = compilation.simulate(model)
-        results[label] = ConfigResult(label=label, compilation=compilation, simulation=simulation)
+        evaluated = evaluate_config(program, config, bindings, board=board, par=par, model=model)
+        results[label] = ConfigResult(
+            label=label, compilation=evaluated.compilation, simulation=evaluated.simulation
+        )
 
     baseline_area = results["baseline"].compilation.area
     for label in ("tiling", "tiling+metapipelining"):
@@ -167,16 +176,32 @@ def run_benchmark(
     )
 
 
+def _run_benchmark_task(args) -> BenchmarkResult:
+    name, sizes, board, model = args
+    return run_benchmark(name, sizes=sizes, board=board, model=model)
+
+
 def run_figure7(
     benchmarks: Optional[Sequence[str]] = None,
     board: Board = DEFAULT_BOARD,
     model: Optional[PerformanceModel] = None,
     sizes_override: Optional[Mapping[str, Mapping[str, int]]] = None,
+    workers: Optional[int] = None,
 ) -> Figure7Report:
-    """Reproduce Figure 7 across the benchmark suite."""
+    """Reproduce Figure 7 across the benchmark suite.
+
+    ``workers > 1`` fans the per-benchmark sweeps out over a
+    ``multiprocessing`` pool (one benchmark per task); the default runs
+    serially, sharing the warm analysis caches across benchmarks.
+    """
     names = list(benchmarks) if benchmarks else [bench.name for bench in all_benchmarks()]
+    tasks = [(name, (sizes_override or {}).get(name), board, model) for name in names]
     report = Figure7Report()
-    for name in names:
-        sizes = (sizes_override or {}).get(name)
-        report.results.append(run_benchmark(name, sizes=sizes, board=board, model=model))
+    if workers and workers > 1 and len(names) > 1:
+        from repro.dse.engine import pool_context
+
+        with pool_context().Pool(processes=min(workers, len(names))) as pool:
+            report.results = pool.map(_run_benchmark_task, tasks)
+    else:
+        report.results = [_run_benchmark_task(task) for task in tasks]
     return report

@@ -44,6 +44,7 @@ from repro.ppl.types import (
 __all__ = [
     "Node",
     "Expr",
+    "structural_hash",
     "Const",
     "Sym",
     "BinOp",
@@ -96,6 +97,28 @@ class Node:
 
     def __init__(self) -> None:
         self.node_id = next(_NODE_IDS)
+        self._shash: Optional[int] = None
+
+    # -- structural hashing ------------------------------------------------
+    def structural_hash(self) -> int:
+        """A cached structural fingerprint of this subtree.
+
+        Two nodes with equal fingerprints are structurally identical with
+        identically named symbols (bound symbol names are uniquified at
+        construction time, so name equality implies binding-structure
+        equality for trees built by :mod:`repro.ppl.builder` and the
+        transformation passes).  Pattern metadata is excluded, mirroring
+        :func:`repro.ppl.traversal.structurally_equal` — which means the
+        hash must only be used to key analyses that do not read ``meta``.
+
+        The fingerprint is the identity under which the memoised analyses
+        (:mod:`repro.dse.cache`) share results across compilations: hash
+        consing in the classic sense, with the hash standing in for the
+        interned node.
+        """
+        if self._shash is None:
+            self._shash = structural_hash(self)
+        return self._shash
 
     # -- generic structure -------------------------------------------------
     def children(self) -> list["Node"]:
@@ -727,3 +750,48 @@ class GroupByFold(Pattern):
         self.key_func = key_func
         self.value_func = value_func
         self.combine = combine
+
+
+# ---------------------------------------------------------------------------
+# Structural hashing (hash consing)
+# ---------------------------------------------------------------------------
+
+
+def structural_hash(node: Optional[Node]) -> int:
+    """Compute the structural fingerprint of ``node`` (see ``Node.structural_hash``).
+
+    The fingerprint covers the node class, its plain-data attributes, its
+    type, and — recursively — every child node.  Symbols contribute their
+    name and type rather than their identity, so structurally identical
+    trees built with the same symbol names hash equal even when the symbol
+    objects differ.  ``None`` children (e.g. an unused MultiFold combiner)
+    hash to a distinguished value.
+    """
+    if node is None:
+        return hash(("none",))
+    cached = node._shash
+    if cached is not None:
+        return cached
+
+    if isinstance(node, Sym):
+        value = hash(("sym", node.name, node.ty))
+    elif isinstance(node, Const):
+        value = hash(("const", type(node.value).__name__, node.value, node.ty))
+    else:
+        parts: list[object] = [type(node).__name__]
+        if isinstance(node, Expr):
+            parts.append(node.ty)
+        for attr in node._attrs:
+            parts.append((attr, getattr(node, attr)))
+        for name in node._fields:
+            field = getattr(node, name)
+            if field is None:
+                parts.append(hash(("none",)))
+            elif isinstance(field, Node):
+                parts.append(structural_hash(field))
+            else:  # tuple of nodes
+                parts.append(tuple(structural_hash(v) for v in field))
+        value = hash(tuple(parts))
+
+    node._shash = value
+    return value

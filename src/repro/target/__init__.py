@@ -1,0 +1,19 @@
+"""Target hardware descriptions (FPGA device + board memory system)."""
+
+from repro.target.device import (
+    DEFAULT_BOARD,
+    MAX4_MAIA,
+    Board,
+    FPGADevice,
+    MemorySpec,
+    STRATIX_V_GSD8,
+)
+
+__all__ = [
+    "Board",
+    "FPGADevice",
+    "MemorySpec",
+    "DEFAULT_BOARD",
+    "MAX4_MAIA",
+    "STRATIX_V_GSD8",
+]

@@ -18,10 +18,11 @@ interchanged forms exactly as the paper's tables do.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 from repro.config import CompileConfig
+from repro.dse.cache import ANALYSIS_CACHE, config_signature
 from repro.ppl.program import Program
 from repro.transforms.base import Pass, PassPipeline
 from repro.transforms.code_motion import CodeMotion
@@ -67,6 +68,35 @@ class TilingDriver:
         self.run_fusion = run_fusion
 
     def run(self, program: Program) -> TilingResult:
+        """Run the tiling flow, sharing results across equivalent requests.
+
+        The flow is a pure function of the program structure and the
+        tiling-relevant configuration (tile sizes and budgets — *not* the
+        parallelisation factors or the metapipelining flag, which only
+        affect hardware generation).  Design points that differ only in
+        those knobs therefore share one tiling result through the global
+        analysis cache; a hit returns the cached result rebound to the
+        caller's config.
+        """
+        if not ANALYSIS_CACHE.enabled:
+            return self._run(program)
+        key = (
+            program.body.structural_hash(),
+            tuple(array.name for array in program.inputs),
+            tuple(size.name for size in program.sizes),
+            config_signature(self.config),
+            self.run_fusion,
+        )
+        cached = ANALYSIS_CACHE.memoize("tiling_result", key, lambda: self._run(program))
+        if cached.config is self.config:
+            return cached
+        return replace(
+            cached,
+            config=self.config,
+            applied_interchanges=list(cached.applied_interchanges),
+        )
+
+    def _run(self, program: Program) -> TilingResult:
         fused = FusionPass().run(program) if self.run_fusion else program
 
         if not self.config.tiling:

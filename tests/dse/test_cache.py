@@ -1,0 +1,146 @@
+"""The analysis cache, structural hashing and memoisation correctness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.estimate import (
+    StaticEvaluator,
+    TrafficAnalyzer,
+    count_scalar_ops,
+    input_shapes,
+    workload_env,
+)
+from repro.apps import get_benchmark
+from repro.config import CompileConfig
+from repro.dse.cache import ANALYSIS_CACHE, AnalysisCache, config_signature, env_signature
+from repro.ppl import builder as b
+from repro.ppl.ir import structural_hash
+from repro.transforms.tiling import TilingDriver
+from repro.utils.naming import reset_names
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    ANALYSIS_CACHE.clear()
+    yield
+    ANALYSIS_CACHE.clear()
+
+
+class TestStructuralHash:
+    def test_identical_structure_same_names_hash_equal(self):
+        reset_names()
+        first = get_benchmark("gemm").build()
+        reset_names()
+        second = get_benchmark("gemm").build()
+        assert first.body is not second.body
+        assert structural_hash(first.body) == structural_hash(second.body)
+
+    def test_different_programs_hash_differently(self):
+        gemm = get_benchmark("gemm").build()
+        kmeans = get_benchmark("kmeans").build()
+        assert structural_hash(gemm.body) != structural_hash(kmeans.body)
+
+    def test_constants_distinguish_trees(self):
+        x = b.array_sym("x", 1)
+        left = b.add(b.apply_array(x, 0), 1.0)
+        right = b.add(b.apply_array(x, 0), 2.0)
+        assert structural_hash(left) != structural_hash(right)
+
+    def test_hash_is_cached_on_the_node(self):
+        expr = b.add(b.flt(1.0), b.flt(2.0))
+        value = expr.structural_hash()
+        assert expr._shash == value
+        assert expr.structural_hash() == value
+
+
+class TestAnalysisCache:
+    def test_memoize_computes_once(self):
+        cache = AnalysisCache()
+        calls = []
+        for _ in range(3):
+            value = cache.memoize("t", "key", lambda: calls.append(1) or 42)
+        assert value == 42
+        assert len(calls) == 1
+        assert cache.stats()["t"] == {"entries": 1, "hits": 2, "misses": 1}
+
+    def test_disabled_context_recomputes(self):
+        cache = AnalysisCache()
+        cache.memoize("t", "key", lambda: "cached")
+        with cache.disabled():
+            assert cache.memoize("t", "key", lambda: "fresh") == "fresh"
+        assert cache.memoize("t", "key", lambda: "fresh") == "cached"
+
+    def test_clear_by_table_and_whole(self):
+        cache = AnalysisCache()
+        cache.put("a", 1, "x")
+        cache.put("b", 2, "y")
+        cache.clear("a")
+        assert cache.size("a") == 0 and cache.size("b") == 1
+        cache.clear()
+        assert cache.size() == 0
+
+    def test_env_signature_keyed_by_names(self):
+        n1 = b.size_sym("n")
+        reset_names()
+        n2 = b.size_sym("n")
+        assert n1 is not n2
+        assert env_signature({n1: 4}) == env_signature({n2: 4})
+        assert env_signature({n1: 4}) != env_signature({n1: 8})
+
+    def test_config_signature_ignores_par_and_metapipelining(self):
+        base = CompileConfig(tiling=True, tile_sizes={"n": 64})
+        meta = CompileConfig(tiling=True, metapipelining=True, tile_sizes={"n": 64})
+        par = CompileConfig(tiling=True, tile_sizes={"n": 64}, default_par=64)
+        assert config_signature(base) == config_signature(meta) == config_signature(par)
+        other = CompileConfig(tiling=True, tile_sizes={"n": 128})
+        assert config_signature(base) != config_signature(other)
+
+
+class TestMemoizedAnalysesMatchUncached:
+    def _setup(self, name="gemm"):
+        bench = get_benchmark(name)
+        bindings = bench.bindings(rng=np.random.default_rng(0))
+        program = bench.build()
+        evaluator = StaticEvaluator(
+            workload_env(program, bindings), input_shapes(program, bindings)
+        )
+        return program, bindings, evaluator
+
+    def test_count_scalar_ops_identical(self):
+        program, _, evaluator = self._setup()
+        with ANALYSIS_CACHE.disabled():
+            cold = count_scalar_ops(program.body, evaluator)
+        warm_miss = count_scalar_ops(program.body, evaluator)
+        warm_hit = count_scalar_ops(program.body, evaluator)
+        assert cold == warm_miss == warm_hit
+        assert ANALYSIS_CACHE.hits["scalar_ops"] >= 1
+
+    def test_traffic_records_identical_and_copy_safe(self):
+        program, _, evaluator = self._setup("kmeans")
+        analyzer = TrafficAnalyzer(program, evaluator)
+        with ANALYSIS_CACHE.disabled():
+            cold = analyzer.analyze()
+        warm = TrafficAnalyzer(program, evaluator).analyze()
+        assert [vars(r) for r in warm] == [vars(r) for r in cold]
+        # Mutating the returned list must not poison the cache.
+        warm.clear()
+        again = TrafficAnalyzer(program, evaluator).analyze()
+        assert [vars(r) for r in again] == [vars(r) for r in cold]
+
+    def test_tiling_result_shared_across_par_and_meta(self):
+        bench = get_benchmark("gemm")
+        program = bench.build()
+        tiles = dict(bench.tile_sizes)
+        tiling = TilingDriver(CompileConfig(tiling=True, tile_sizes=tiles)).run(program)
+        meta_config = CompileConfig(tiling=True, metapipelining=True, tile_sizes=tiles)
+        meta = TilingDriver(meta_config).run(program)
+        assert meta.tiled is tiling.tiled  # one tiling, shared
+        assert meta.config is meta_config  # but rebound to the caller's config
+        assert ANALYSIS_CACHE.hits["tiling_result"] >= 1
+
+    def test_tiling_cache_distinguishes_tile_sizes(self):
+        bench = get_benchmark("gemm")
+        program = bench.build()
+        small = TilingDriver(CompileConfig(tiling=True, tile_sizes={"m": 32})).run(program)
+        large = TilingDriver(CompileConfig(tiling=True, tile_sizes={"m": 64})).run(program)
+        assert small.tiled is not large.tiled

@@ -1,0 +1,133 @@
+"""The exploration engine: pruning, evaluation, Pareto ranking, cache parity."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_benchmark
+from repro.compiler import compile_point
+from repro.dse.cache import ANALYSIS_CACHE
+from repro.dse.engine import (
+    PointResult,
+    evaluate_config,
+    evaluate_point,
+    explore,
+    pareto_front,
+)
+from repro.dse.space import DesignPoint, DesignSpace, default_space
+from repro.target.device import DEFAULT_BOARD
+
+SIZES = {"m": 256, "n": 256, "p": 256}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    ANALYSIS_CACHE.clear()
+    yield
+    ANALYSIS_CACHE.clear()
+
+
+def _small_space():
+    space = DesignSpace()
+    space.add(DesignPoint.make(None, par=16))
+    for tiles in ({"m": 64, "n": 64, "p": 64}, {"m": 64, "n": 64, "p": 128}):
+        for meta in (False, True):
+            space.add(DesignPoint.make(tiles, par=16, metapipelining=meta))
+    return space
+
+
+class TestEvaluatePoint:
+    def test_point_result_carries_cycles_and_area(self):
+        bench = get_benchmark("gemm")
+        bindings = bench.bindings(SIZES, np.random.default_rng(0))
+        program = bench.build()
+        result = evaluate_point(program, bindings, DesignPoint.make({"m": 64}, par=16))
+        assert result.cycles > 0 and result.seconds > 0
+        assert result.logic > 0 and result.bram_bits > 0
+        assert set(result.utilization) == {"logic", "ffs", "bram", "dsps"}
+
+    def test_compile_point_matches_compile_config(self):
+        bench = get_benchmark("sumrows")
+        bindings = bench.bindings({"m": 1024, "n": 128}, np.random.default_rng(0))
+        program = bench.build()
+        point = DesignPoint.make({"m": 128}, par=8, metapipelining=True)
+        via_point = compile_point(program, point, bindings)
+        via_config = evaluate_config(
+            program, point.config(), bindings, par=point.par
+        ).compilation
+        assert via_point.area.total.logic == via_config.area.total.logic
+        assert via_point.design.main_memory_read_bytes == via_config.design.main_memory_read_bytes
+
+
+class TestExplore:
+    def test_explore_returns_ranked_results(self):
+        result = explore("gemm", sizes=SIZES, space=_small_space())
+        assert result.benchmark == "gemm"
+        assert len(result.evaluated) == len(_small_space())
+        pareto = result.pareto
+        assert pareto
+        cycles = [r.cycles for r in pareto]
+        assert cycles == sorted(cycles)
+        # The front trades area for speed: areas decrease as cycles increase.
+        utils = [r.max_utilization for r in pareto]
+        assert utils == sorted(utils, reverse=True)
+        assert result.best in result.evaluated
+        assert "DSE gemm" in result.summary()
+
+    def test_prune_skips_infeasible_points_before_compiling(self):
+        space = DesignSpace()
+        space.add(DesignPoint.make({"m": 64, "n": 64, "p": 64}, par=16))
+        space.add(DesignPoint.make({"m": 256, "n": 256, "p": 256}, par=1 << 12, metapipelining=True))
+        result = explore("gemm", sizes=SIZES, space=space)
+        assert len(result.pruned) == 1
+        assert result.pruned[0].pruned and result.pruned[0].prune_reason
+        assert len(result.evaluated) == 1
+
+    def test_memoized_numbers_match_the_uncached_path(self):
+        space = _small_space()
+        cold = explore("gemm", sizes=SIZES, space=space, memoize=False, prune=False)
+        ANALYSIS_CACHE.clear()
+        warm = explore("gemm", sizes=SIZES, space=space, memoize=True, prune=False)
+        warm_again = explore("gemm", sizes=SIZES, space=space, memoize=True, prune=False)
+        for a, b, c in zip(cold.evaluated, warm.evaluated, warm_again.evaluated):
+            assert a.point == b.point == c.point
+            assert a.cycles == b.cycles == c.cycles
+            assert a.logic == b.logic == c.logic
+            assert a.bram_bits == b.bram_bits == c.bram_bits
+            assert a.read_bytes == b.read_bytes == c.read_bytes
+
+    def test_worker_pool_matches_serial_results(self):
+        space = _small_space()
+        serial = explore("gemm", sizes=SIZES, space=space)
+        ANALYSIS_CACHE.clear()
+        parallel = explore("gemm", sizes=SIZES, space=space, workers=2)
+        assert parallel.workers >= 1
+        serial_map = {r.label: r for r in serial.evaluated}
+        for result in parallel.evaluated:
+            assert result.cycles == serial_map[result.label].cycles
+            assert result.logic == serial_map[result.label].logic
+
+    def test_default_space_is_used_when_none_given(self):
+        result = explore("sumrows", sizes={"m": 4096, "n": 256})
+        assert len(result.evaluated) + len(result.pruned) > 0
+
+
+class TestParetoFront:
+    def _result(self, cycles, util):
+        return PointResult(
+            point=DesignPoint.make({"n": int(cycles)}),
+            cycles=cycles,
+            utilization={"logic": util},
+        )
+
+    def test_dominated_points_are_dropped(self):
+        fast_big = self._result(100, 0.9)
+        slow_small = self._result(200, 0.1)
+        dominated = self._result(300, 0.5)  # slower and bigger than slow_small? no -
+        # dominated by nothing on area, but slower than slow_small at higher util.
+        front = pareto_front([fast_big, slow_small, dominated])
+        assert fast_big in front and slow_small in front
+        assert dominated not in front
+
+    def test_single_point_is_its_own_front(self):
+        only = self._result(10, 0.5)
+        assert pareto_front([only]) == [only]

@@ -1,0 +1,97 @@
+"""Design-space enumeration and the analytical area pre-filter."""
+
+import pytest
+
+from repro.config import CompileConfig
+from repro.dse.space import (
+    DesignPoint,
+    DesignSpace,
+    default_space,
+    estimate_point_area,
+    tile_candidates,
+)
+from repro.target.device import DEFAULT_BOARD
+
+
+class TestDesignPoint:
+    def test_baseline_point_has_untiled_config(self):
+        point = DesignPoint.make(None, par=8)
+        config = point.config()
+        assert not config.tiling and not config.metapipelining
+        assert config.default_par == 8
+        assert point.label == "baseline/par8"
+
+    def test_tiled_point_round_trips_through_config(self):
+        point = DesignPoint.make({"n": 64, "m": 128}, par=32, metapipelining=True)
+        config = point.config()
+        assert config.tiling and config.metapipelining
+        assert dict(config.tile_sizes) == {"n": 64, "m": 128}
+        assert config.par_factors["inner"] == 32
+
+    def test_points_are_hashable_value_objects(self):
+        a = DesignPoint.make({"n": 64}, par=16)
+        b = DesignPoint.make({"n": 64}, par=16)
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestSpaceEnumeration:
+    def test_tile_candidates_are_powers_of_two_within_extent(self):
+        assert tile_candidates(256) == [16, 32, 64, 128, 256]
+        assert tile_candidates(8) == [8]
+
+    def test_default_space_covers_the_cartesian_product(self):
+        space = default_space({"n": 256}, pars=(8, 16), metapipelining=(False, True))
+        labels = {p.label for p in space}
+        assert len(labels) == len(space.points)  # duplicate-free
+        baselines = [p for p in space if not p.tiling]
+        tiled = [p for p in space if p.tiling]
+        assert len(baselines) == 2
+        assert len(tiled) == 4 * 2 * 2  # 4 tiles x 2 pars x 2 meta
+
+    def test_max_points_decimates_deterministically(self):
+        full = default_space({"n": 1024, "m": 1024})
+        capped = default_space({"n": 1024, "m": 1024}, max_points=10)
+        again = default_space({"n": 1024, "m": 1024}, max_points=10)
+        assert len(capped) == 10 < len(full)
+        assert capped.points == again.points
+
+    def test_design_space_extend_deduplicates(self):
+        space = DesignSpace()
+        point = DesignPoint.make({"n": 32})
+        space.extend([point, point])
+        assert len(space) == 1
+
+
+class TestAreaPreFilter:
+    SHAPES = {"x": (1 << 14, 1 << 14)}
+    SIZES = {"m": 1 << 14, "n": 1 << 14}
+
+    def test_small_tiles_are_feasible(self):
+        point = DesignPoint.make({"m": 64, "n": 64}, par=16)
+        decision = estimate_point_area(self.SHAPES, self.SIZES, point, DEFAULT_BOARD)
+        assert decision.feasible
+
+    def test_huge_tiles_are_pruned_on_bram(self):
+        point = DesignPoint.make({"m": 1 << 14, "n": 1 << 14}, par=16, metapipelining=True)
+        decision = estimate_point_area(self.SHAPES, self.SIZES, point, DEFAULT_BOARD)
+        assert not decision.feasible
+        assert "KiB" in decision.reason
+        assert decision.bram_bits > DEFAULT_BOARD.device.bram_bits
+
+    def test_huge_par_is_pruned_on_compute(self):
+        point = DesignPoint.make({"m": 64, "n": 64}, par=1 << 12)
+        decision = estimate_point_area(self.SHAPES, self.SIZES, point, DEFAULT_BOARD)
+        assert not decision.feasible
+
+    def test_budget_tightens_the_filter(self):
+        point = DesignPoint.make({"m": 512, "n": 512}, par=16, metapipelining=True)
+        loose = estimate_point_area(self.SHAPES, self.SIZES, point, DEFAULT_BOARD, budget=1.0)
+        tight = estimate_point_area(self.SHAPES, self.SIZES, point, DEFAULT_BOARD, budget=0.05)
+        assert loose.feasible and not tight.feasible
+
+    def test_baseline_points_never_prune_on_memory(self):
+        point = DesignPoint.make(None, par=16)
+        decision = estimate_point_area(self.SHAPES, self.SIZES, point, DEFAULT_BOARD)
+        assert decision.feasible
+        assert decision.bram_bits == 0

@@ -1,0 +1,270 @@
+"""Bit-for-bit equivalence of the vectorized fast path with the reference
+interpreter — on every registered app, on tiled programs (exercising the
+fallback), and on property-style randomised workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import all_benchmarks, get_benchmark
+from repro.compiler import compile_program
+from repro.config import CompileConfig
+from repro.ppl import builder as b
+from repro.ppl.interp import Interpreter, run_program
+from repro.ppl.ir import Cmp, Select
+from repro.ppl.program import Program
+
+BENCH_NAMES = [bench.name for bench in all_benchmarks()]
+
+
+def assert_bit_identical(reference, fast):
+    """Exact comparison: same types/dtypes/shapes, same bits (NaN == NaN)."""
+    if isinstance(reference, tuple):
+        assert isinstance(fast, tuple) and len(reference) == len(fast)
+        for r, f in zip(reference, fast):
+            assert_bit_identical(r, f)
+        return
+    ref_arr, fast_arr = np.asarray(reference), np.asarray(fast)
+    assert ref_arr.shape == fast_arr.shape
+    if ref_arr.dtype == object or fast_arr.dtype == object:
+        assert ref_arr.dtype == fast_arr.dtype
+        for r, f in zip(ref_arr.ravel(), fast_arr.ravel()):
+            assert_bit_identical(r, f)
+        return
+    assert ref_arr.dtype == fast_arr.dtype
+    assert np.array_equal(ref_arr, fast_arr, equal_nan=True)
+
+
+@pytest.mark.parametrize("name", BENCH_NAMES)
+class TestEveryAppMatches:
+    def test_fused_program_bit_identical(self, name):
+        bench = get_benchmark(name)
+        bindings = bench.bindings(rng=np.random.default_rng(11))
+        program = bench.build()
+        reference = run_program(program, bindings, vectorize=False)
+        fast = run_program(program, bindings, vectorize=True)
+        assert_bit_identical(reference, fast)
+
+    def test_tiled_program_bit_identical(self, name):
+        """Tiled IR contains tile copies and strided domains — the fallback
+        path — while inner vectorizable folds still take the fast path."""
+        bench = get_benchmark(name)
+        bindings = bench.bindings(rng=np.random.default_rng(7))
+        config = CompileConfig(
+            tiling=True, metapipelining=True, tile_sizes={k: 2 for k in bench.tile_sizes}
+        )
+        tiled = compile_program(bench.build(), config, bindings).tiled_program
+        reference = run_program(tiled, bindings, vectorize=False)
+        fast = run_program(tiled, bindings, vectorize=True)
+        assert_bit_identical(reference, fast)
+
+    def test_matches_numpy_reference_implementation(self, name):
+        bench = get_benchmark(name)
+        bindings = bench.bindings(rng=np.random.default_rng(3))
+        fast = run_program(bench.build(), bindings, vectorize=True)
+        np.testing.assert_allclose(
+            np.asarray(fast, dtype=float),
+            np.asarray(bench.reference(bindings), dtype=float),
+            rtol=1e-9,
+        )
+
+
+@pytest.mark.parametrize("name", ["gemm", "sumrows", "tpchq6"])
+@given(seed=st.integers(0, 2**32 - 1), scale=st.integers(1, 6))
+@settings(max_examples=12, deadline=None)
+def test_property_random_workloads_bit_identical(name, seed, scale):
+    bench = get_benchmark(name)
+    sizes = {key: max(1, value * scale // 2) for key, value in bench.test_sizes.items()}
+    bindings = bench.bindings(sizes, np.random.default_rng(seed))
+    program = bench.build()
+    reference = run_program(program, bindings, vectorize=False)
+    fast = run_program(program, bindings, vectorize=True)
+    assert_bit_identical(reference, fast)
+
+
+class TestFastPathMechanics:
+    def _map_program(self, body_builder, m=5, n=7):
+        msym, nsym = b.size_sym("m"), b.size_sym("n")
+        x = b.array_sym("x", 2)
+        body = b.pmap(b.domain(msym, nsym), body_builder(x))
+        return Program(name="unit", inputs=[x], sizes=[msym, nsym], body=body)
+
+    def test_elementwise_map_takes_the_vector_path(self):
+        program = self._map_program(lambda x: lambda i, j: b.mul(b.apply_array(x, i, j), 2.0))
+        bindings = {"m": 5, "n": 7, "x": np.arange(35.0).reshape(5, 7)}
+        fast = run_program(program, bindings, vectorize=True)
+        assert_bit_identical(run_program(program, bindings, vectorize=False), fast)
+        np.testing.assert_array_equal(fast, bindings["x"] * 2.0)
+
+    def test_strided_domain_map(self):
+        msym = b.size_sym("m")
+        x = b.array_sym("x", 1)
+        body = b.pmap(
+            b.domain(msym, strides=[2]), lambda i: b.add(b.apply_array(x, i), 1.0)
+        )
+        program = Program(name="strided", inputs=[x], sizes=[msym], body=body)
+        bindings = {"m": 9, "x": np.arange(9.0)}
+        reference = run_program(program, bindings, vectorize=False)
+        fast = run_program(program, bindings, vectorize=True)
+        assert_bit_identical(reference, fast)
+        assert fast.shape == (5,)
+
+    def test_guarded_out_of_bounds_read_falls_back_and_matches(self):
+        """A Select guarding an out-of-bounds read is legal in the reference
+        semantics; the vector path must detect it and fall back rather than
+        evaluate the unprotected branch."""
+        msym = b.size_sym("m")
+        x = b.array_sym("x", 1)
+        body = b.pmap(
+            b.domain(msym),
+            lambda i: Select(
+                Cmp("<", b.add(i, 1), msym),
+                b.apply_array(x, b.add(i, 1)),  # out of bounds at i = m-1
+                b.flt(0.0),
+            ),
+        )
+        program = Program(name="guarded", inputs=[x], sizes=[msym], body=body)
+        bindings = {"m": 6, "x": np.arange(6.0)}
+        reference = run_program(program, bindings, vectorize=False)
+        fast = run_program(program, bindings, vectorize=True)
+        assert_bit_identical(reference, fast)
+
+    def test_empty_domain(self):
+        program = self._map_program(lambda x: lambda i, j: b.apply_array(x, i, j))
+        bindings = {"m": 0, "n": 4, "x": np.zeros((0, 4))}
+        fast = run_program(program, bindings, vectorize=True)
+        assert_bit_identical(run_program(program, bindings, vectorize=False), fast)
+        assert fast.shape == (0, 4)
+
+    def test_integer_map_preserves_dtype(self):
+        msym = b.size_sym("m")
+        body = b.pmap(b.domain(msym), lambda i: b.mul(i, 3))
+        program = Program(name="ints", inputs=[], sizes=[msym], body=body)
+        bindings = {"m": 8}
+        reference = run_program(program, bindings, vectorize=False)
+        fast = run_program(program, bindings, vectorize=True)
+        assert_bit_identical(reference, fast)
+        assert fast.dtype == np.int64
+
+    def test_partitioned_fold_skips_the_vector_path(self):
+        """parallel_partitions > 1 exercises the combine function; the vector
+        fold (a pure left fold) must not replace it."""
+        bench = get_benchmark("sumrows")
+        bindings = bench.bindings(rng=np.random.default_rng(2))
+        program = bench.build()
+        env = program.bind(bindings)
+        partitioned = Interpreter(parallel_partitions=3, vectorize=True).evaluate(
+            program.body, env
+        )
+        reference = Interpreter(parallel_partitions=3).evaluate(program.body, env)
+        assert_bit_identical(reference, partitioned)
+
+    def test_vectorize_off_by_default_for_interpreter(self):
+        assert Interpreter().vectorize is False
+
+
+class TestReferenceSemanticsPreserved:
+    """Cases where naive numpy lowering would silently diverge from the
+    reference evaluator; the fast path must either match exactly or fall
+    back."""
+
+    def _fold_program(self, op, values, init=None):
+        msym = b.size_sym("m")
+        x = b.array_sym("x", 1)
+        from repro.ppl.ir import BinOp
+
+        init = b.flt(float("inf")) if init is None else init
+        body = b.fold(
+            b.domain(msym),
+            init,
+            lambda i, acc: BinOp(op, acc, b.apply_array(x, i)),
+        )
+        program = Program(name="fold", inputs=[x], sizes=[msym], body=body)
+        bindings = {"m": len(values), "x": np.asarray(values)}
+        return program, bindings
+
+    def test_nan_min_fold_matches_python_min_semantics(self):
+        program, bindings = self._fold_program("min", [3.0, float("nan"), 1.0, 2.0])
+        reference = run_program(program, bindings, vectorize=False)
+        fast = run_program(program, bindings, vectorize=True)
+        assert fast == reference == 1.0  # Python min ignores the NaN operand
+
+    def test_nan_in_elementwise_min_matches(self):
+        msym = b.size_sym("m")
+        x = b.array_sym("x", 1)
+        body = b.pmap(b.domain(msym), lambda i: b.minimum(b.apply_array(x, i), 2.0))
+        program = Program(name="emin", inputs=[x], sizes=[msym], body=body)
+        bindings = {"m": 3, "x": np.array([1.0, float("nan"), 5.0])}
+        assert_bit_identical(
+            run_program(program, bindings, vectorize=False),
+            run_program(program, bindings, vectorize=True),
+        )
+
+    def test_big_integer_product_does_not_wrap(self):
+        program, bindings = self._fold_program(
+            "*", np.full(5, 2**13, dtype=np.int64), init=b.idx(1)
+        )
+        reference = run_program(program, bindings, vectorize=False)
+        fast = run_program(program, bindings, vectorize=True)
+        assert fast == reference == 2**65  # falls back to Python bigints
+
+    def test_division_by_zero_still_raises(self):
+        msym = b.size_sym("m")
+        x = b.array_sym("x", 1)
+        body = b.pmap(b.domain(msym), lambda i: b.div(b.flt(1.0), b.apply_array(x, i)))
+        program = Program(name="recip", inputs=[x], sizes=[msym], body=body)
+        bindings = {"m": 3, "x": np.array([1.0, 0.0, 2.0])}
+        with pytest.raises(ZeroDivisionError):
+            run_program(program, bindings, vectorize=False)
+        with pytest.raises(ZeroDivisionError):
+            run_program(program, bindings, vectorize=True)
+
+    def test_float32_inputs_compute_in_double_like_the_reference(self):
+        """The reference reads elements via .item() (Python float64) and
+        rounds once into the output; the vector path must widen narrow
+        input dtypes the same way instead of rounding every intermediate."""
+        msym = b.size_sym("m")
+        x = b.array_sym("x", 1)
+        body = b.pmap(
+            b.domain(msym),
+            lambda i: b.add(b.mul(b.apply_array(x, i), b.apply_array(x, i)), b.apply_array(x, i)),
+        )
+        program = Program(name="narrow", inputs=[x], sizes=[msym], body=body)
+        values = (np.random.default_rng(0).uniform(1e5, 1e6, 100)).astype(np.float32)
+        bindings = {"m": 100, "x": values}
+        assert_bit_identical(
+            run_program(program, bindings, vectorize=False),
+            run_program(program, bindings, vectorize=True),
+        )
+
+    def test_elementwise_int_overflow_matches_reference(self):
+        """Huge integer intermediates overflow int64; the vector path must
+        fall back so the reference's Python-bigint semantics (including its
+        OverflowError on storing) are preserved."""
+        msym = b.size_sym("m")
+
+        def body_builder(i):
+            shifted = b.add(i, b.idx(4_000_000_000))
+            return b.mul(shifted, shifted)
+
+        body = b.pmap(b.domain(msym), body_builder)
+        program = Program(name="bigint", inputs=[], sizes=[msym], body=body)
+        bindings = {"m": 4}
+        with pytest.raises(OverflowError):
+            run_program(program, bindings, vectorize=False)
+        with pytest.raises(OverflowError):
+            run_program(program, bindings, vectorize=True)
+
+    def test_negative_sqrt_still_raises(self):
+        from repro.ppl.ir import UnaryOp
+
+        msym = b.size_sym("m")
+        x = b.array_sym("x", 1)
+        body = b.pmap(b.domain(msym), lambda i: UnaryOp("sqrt", b.apply_array(x, i)))
+        program = Program(name="root", inputs=[x], sizes=[msym], body=body)
+        bindings = {"m": 3, "x": np.array([1.0, -4.0, 9.0])}
+        with pytest.raises(ValueError):
+            run_program(program, bindings, vectorize=False)
+        with pytest.raises(ValueError):
+            run_program(program, bindings, vectorize=True)

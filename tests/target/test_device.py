@@ -1,0 +1,48 @@
+"""The target board/device description consumed by area, generation and sim."""
+
+import pytest
+
+from repro.target.device import (
+    DEFAULT_BOARD,
+    MAX4_MAIA,
+    STRATIX_V_GSD8,
+    Board,
+    FPGADevice,
+    MemorySpec,
+)
+
+
+class TestBoard:
+    def test_default_board_is_the_max4(self):
+        assert DEFAULT_BOARD is MAX4_MAIA
+        assert DEFAULT_BOARD.device is STRATIX_V_GSD8
+
+    def test_derived_quantities(self):
+        assert DEFAULT_BOARD.burst_words == DEFAULT_BOARD.memory.burst_bytes // 4
+        expected = (
+            DEFAULT_BOARD.memory.bandwidth_bytes_per_sec / DEFAULT_BOARD.device.clock_hz
+        )
+        assert DEFAULT_BOARD.bytes_per_cycle == pytest.approx(expected)
+
+    def test_capacities_are_plausible_for_a_stratix_v(self):
+        device = STRATIX_V_GSD8
+        assert 100_000 < device.logic_cells < 1_000_000
+        assert device.registers > device.logic_cells
+        assert device.bram_bits > 10_000_000  # tens of megabits of M20K
+        assert device.dsps > 1_000
+        assert device.clock_hz == 150e6
+
+    def test_with_memory_and_with_device_return_modified_copies(self):
+        slow = DEFAULT_BOARD.with_memory(latency_cycles=999)
+        assert slow.memory.latency_cycles == 999
+        assert DEFAULT_BOARD.memory.latency_cycles != 999
+        small = DEFAULT_BOARD.with_device(bram_bits=1)
+        assert small.device.bram_bits == 1
+        assert small.memory == DEFAULT_BOARD.memory
+
+    def test_boards_are_immutable_values(self):
+        with pytest.raises(Exception):
+            DEFAULT_BOARD.name = "other"
+        assert Board() == Board()
+        assert MemorySpec() == MemorySpec()
+        assert FPGADevice() == FPGADevice()
