@@ -1,21 +1,24 @@
-"""E7 — design-space exploration wall-clock: cold vs memoized vs parallel.
+"""E7 — design-space exploration: engine wall-clock, search quality, disk cache.
 
-Times a ≥ 50-point sweep over gemm's tiling/parallelism/metapipelining
-space three ways:
+Three phases over a ≥ 50-point gemm tiling/parallelism/metapipelining
+space, all appended as one record to ``BENCH_dse.json``:
 
-* **cold** — the naive serial loop: every point pays full tiling,
-  generation and analysis with all caches disabled (the pre-engine
-  behaviour);
-* **memoized** — the engine's serial path: area pre-filter pruning plus
-  the hash-consed tiling/analysis caches;
-* **parallel** — additionally fanning surviving points across a
-  ``multiprocessing`` pool (one worker per CPU; on single-CPU hosts this
-  degenerates to the serial path and is reported as such).
+1. **Engine wall-clock** — the sweep three ways: *cold* (naive serial loop,
+   all caches disabled), *memoized* (area pre-filter + hash-consed
+   tiling/analysis caches) and *parallel* (surviving points fanned across a
+   ``multiprocessing`` pool).  Asserts the memoized path returns
+   *identical* numbers to the uncached path and the ≥ 3× speedup target.
 
-The script verifies that the memoized path returns *identical* numbers to
-the uncached path for every surviving point, asserts the ≥ 3× speedup
-target, and appends the measurements to ``BENCH_dse.json`` at the repo
-root so the performance trajectory is tracked across PRs.
+2. **Search vs grid** — the hill-climb and genetic strategies against the
+   exhaustive front: each must reach ≥ 95% of the exhaustive Pareto
+   front's hypervolume while evaluating ≤ 40% of the points.
+
+3. **Disk cache** — the sweep against a fresh persisted store (cold:
+   full compute + save) and again from the store alone (warm: pure
+   point-result hits).  Asserts the warm rerun is ≥ 3× faster.
+
+The run finally refreshes the repo-level ``.dse-cache/`` store that CI
+persists between workflow runs (keyed on the cache version).
 
 Run with ``PYTHONPATH=src python benchmarks/bench_dse.py``.
 """
@@ -25,19 +28,26 @@ from __future__ import annotations
 import json
 import os
 import sys
+import tempfile
 import time
 from pathlib import Path
 
-from repro.dse.cache import ANALYSIS_CACHE
+from repro.dse.cache import ANALYSIS_CACHE, CACHE_VERSION
 from repro.dse.engine import explore
+from repro.dse.search import area_key, hypervolume
 from repro.dse.space import default_space
 
 BENCHMARK = "gemm"
 SIZES = {"m": 1024, "n": 1024, "p": 1024}
 SPEEDUP_TARGET = 3.0
+DISK_SPEEDUP_TARGET = 3.0
 MIN_POINTS = 50
+HV_TARGET = 0.95
+EVAL_BUDGET_FRACTION = 0.4
 
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_dse.json"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_dse.json"
+CI_STORE = REPO_ROOT / ".dse-cache" / "analysis.pkl"
 
 
 def _sweep_space():
@@ -48,10 +58,19 @@ def _sweep_space():
     )
 
 
-def run() -> dict:
-    space = _sweep_space()
-    assert len(space) >= MIN_POINTS, f"sweep has only {len(space)} points"
+def _disk_space():
+    # The disk phase sweeps a larger space: the warm rerun's fixed costs
+    # (workload generation, store load) are independent of the sweep size,
+    # so the bigger the sweep, the more honestly the ratio reflects the
+    # store's value on real CI sweeps.
+    return default_space(
+        {name: SIZES[name] for name in ("m", "n", "p")},
+        pars=(4, 8, 16, 32),
+        max_tiles_per_dim=4,
+    )
 
+
+def run_engine_phase(space) -> dict:
     ANALYSIS_CACHE.clear()
     started = time.perf_counter()
     cold = explore(BENCHMARK, sizes=SIZES, space=space, memoize=False, prune=False)
@@ -90,24 +109,6 @@ def run() -> dict:
     speedup_parallel = t_cold / t_parallel
     best = max(speedup_memoized, speedup_parallel)
 
-    record = {
-        "benchmark": BENCHMARK,
-        "sizes": SIZES,
-        "points": len(space),
-        "evaluated": len(memoized.evaluated),
-        "pruned": len(memoized.pruned),
-        "workers_parallel": parallel.workers,
-        "seconds_cold": round(t_cold, 4),
-        "seconds_memoized": round(t_memoized, 4),
-        "seconds_parallel": round(t_parallel, 4),
-        "speedup_memoized": round(speedup_memoized, 2),
-        "speedup_parallel": round(speedup_parallel, 2),
-        "speedup_best": round(best, 2),
-        "identical_numbers": True,
-        "pareto_size": len(memoized.pareto),
-        "cache_stats": memoized.cache_stats,
-    }
-
     print(
         f"[DSE sweep] {BENCHMARK} {len(space)} points: "
         f"cold {t_cold:.2f}s | memoized+pruned {t_memoized:.2f}s "
@@ -120,6 +121,146 @@ def run() -> dict:
     assert best >= SPEEDUP_TARGET, (
         f"engine speedup {best:.2f}x below the {SPEEDUP_TARGET:.0f}x target"
     )
+    return {
+        "evaluated": len(memoized.evaluated),
+        "pruned": len(memoized.pruned),
+        "workers_parallel": parallel.workers,
+        "seconds_cold": round(t_cold, 4),
+        "seconds_memoized": round(t_memoized, 4),
+        "seconds_parallel": round(t_parallel, 4),
+        "speedup_memoized": round(speedup_memoized, 2),
+        "speedup_parallel": round(speedup_parallel, 2),
+        "speedup_best": round(best, 2),
+        "identical_numbers": True,
+        "pareto_size": len(memoized.pareto),
+        "cache_stats": memoized.cache_stats,
+        "exhaustive_results": memoized,  # consumed by the search phase
+    }
+
+
+def run_search_phase(space, exhaustive) -> dict:
+    """Hill-climb and genetic quality against the exhaustive front."""
+    reference = (
+        max(r.cycles for r in exhaustive.evaluated) * 1.05,
+        max(area_key(r) for r in exhaustive.evaluated) * 1.05,
+    )
+    hv_grid = hypervolume(exhaustive.evaluated, reference)
+    grid_evaluations = len(exhaustive.evaluated)
+    budget = int(EVAL_BUDGET_FRACTION * grid_evaluations)
+
+    record = {
+        "grid_evaluations": grid_evaluations,
+        "grid_hypervolume": hv_grid,
+        "eval_budget_fraction": EVAL_BUDGET_FRACTION,
+        "hypervolume_target": HV_TARGET,
+    }
+    for name in ("hill-climb", "genetic"):
+        ANALYSIS_CACHE.clear()
+        started = time.perf_counter()
+        searched = explore(
+            BENCHMARK,
+            sizes=SIZES,
+            space=space,
+            strategy=name,
+            max_evaluations=budget,
+            search_seed=1,
+        )
+        elapsed = time.perf_counter() - started
+        hv = hypervolume(searched.evaluated, reference)
+        fraction = len(searched.evaluated) / grid_evaluations
+        quality = hv / hv_grid if hv_grid else 1.0
+        print(
+            f"[DSE search] {name}: {len(searched.evaluated)}/{grid_evaluations} points "
+            f"({fraction:.0%}), hypervolume {quality:.1%} of exhaustive, {elapsed:.2f}s"
+        )
+        assert fraction <= EVAL_BUDGET_FRACTION + 1e-9, (
+            f"{name} evaluated {fraction:.0%} of the points "
+            f"(budget {EVAL_BUDGET_FRACTION:.0%})"
+        )
+        assert quality >= HV_TARGET, (
+            f"{name} reached only {quality:.1%} of the exhaustive hypervolume "
+            f"(target {HV_TARGET:.0%})"
+        )
+        key = name.replace("-", "_")
+        record[key] = {
+            "evaluations": len(searched.evaluated),
+            "eval_fraction": round(fraction, 4),
+            "hypervolume_fraction": round(quality, 4),
+            "seconds": round(elapsed, 4),
+            "pareto_size": len(searched.pareto),
+        }
+    return record
+
+
+def run_disk_phase(space) -> dict:
+    """Cold store write vs warm store rerun (the cross-process CI path)."""
+    print(f"[DSE disk] sweeping {len(space)} points against a fresh store")
+    with tempfile.TemporaryDirectory(prefix="dse-disk-") as tmp:
+        store = Path(tmp) / "analysis.pkl"
+
+        ANALYSIS_CACHE.clear()
+        started = time.perf_counter()
+        cold = explore(BENCHMARK, sizes=SIZES, space=space, disk_cache=store)
+        t_cold = time.perf_counter() - started
+
+        ANALYSIS_CACHE.clear()
+        started = time.perf_counter()
+        warm = explore(BENCHMARK, sizes=SIZES, space=space, disk_cache=store)
+        t_warm = time.perf_counter() - started
+
+        store_bytes = store.stat().st_size
+
+    warm_by_label = {r.label: r for r in warm.evaluated}
+    for result in cold.evaluated:
+        twin = warm_by_label[result.label]
+        assert result.cycles == twin.cycles and result.logic == twin.logic, (
+            f"disk-cached result diverges for {result.label}"
+        )
+    hits = warm.cache_stats.get("point_results", {})
+    assert hits.get("misses", 1) == 0, "warm disk rerun recompiled points"
+
+    speedup = t_cold / t_warm
+    print(
+        f"[DSE disk] cold {t_cold:.2f}s (compute + save) | warm {t_warm:.3f}s "
+        f"(pure store hits) | {speedup:.1f}x | store {store_bytes / 1024:.0f} KiB"
+    )
+    assert speedup >= DISK_SPEEDUP_TARGET, (
+        f"warm disk rerun only {speedup:.2f}x faster "
+        f"(target {DISK_SPEEDUP_TARGET:.0f}x)"
+    )
+    return {
+        "seconds_disk_cold": round(t_cold, 4),
+        "seconds_disk_warm": round(t_warm, 4),
+        "speedup_disk_warm": round(speedup, 2),
+        "store_kib": round(store_bytes / 1024, 1),
+        "cache_version": CACHE_VERSION,
+    }
+
+
+def refresh_ci_store(space) -> None:
+    """Keep the repo-level store CI persists between runs up to date."""
+    existed = CI_STORE.exists()
+    explore(BENCHMARK, sizes=SIZES, space=space, disk_cache=CI_STORE)
+    assert CI_STORE.exists(), "CI store refresh did not write the store"
+    state = "updated" if existed else "created"
+    print(f"[DSE disk] CI store {CI_STORE} {state} ({CI_STORE.stat().st_size / 1024:.0f} KiB)")
+
+
+def run() -> dict:
+    space = _sweep_space()
+    assert len(space) >= MIN_POINTS, f"sweep has only {len(space)} points"
+
+    engine = run_engine_phase(space)
+    exhaustive = engine.pop("exhaustive_results")
+    search = run_search_phase(space, exhaustive)
+    disk_space = _disk_space()
+    disk = run_disk_phase(disk_space)
+    refresh_ci_store(disk_space)
+
+    record = {"benchmark": BENCHMARK, "sizes": SIZES, "points": len(space)}
+    record.update(engine)
+    record["search"] = search
+    record["disk"] = disk
     return record
 
 

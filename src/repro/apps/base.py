@@ -64,7 +64,22 @@ _REGISTRY: Dict[str, Benchmark] = {}
 
 
 def register(benchmark: Benchmark) -> Benchmark:
-    """Register a benchmark in the global registry (used at import time)."""
+    """Register a benchmark in the global registry (used at import time).
+
+    The builder is wrapped in a fresh naming scope, making every build of a
+    registered benchmark nominally identical — the same structural hash in
+    any process — so repeated builds share analysis-cache entries (including
+    the disk-persisted ones) instead of each minting new keys.
+    """
+    from repro.utils.naming import fresh_naming_scope
+
+    original_build = benchmark.build
+
+    def deterministic_build() -> Program:
+        with fresh_naming_scope():
+            return original_build()
+
+    benchmark.build = deterministic_build
     _REGISTRY[benchmark.name] = benchmark
     return benchmark
 

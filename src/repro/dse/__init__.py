@@ -7,30 +7,49 @@ The subsystem has three layers:
   anywhere; it depends only on the standard library).
 * :mod:`repro.dse.space` — design-point enumeration and the cheap analytical
   area pre-filter used to prune infeasible points before simulation.
-* :mod:`repro.dse.engine` — the exploration driver: prune → evaluate
-  (serially or across a ``multiprocessing`` pool) → Pareto-rank.
+* :mod:`repro.dse.search` — pluggable exploration strategies (exhaustive,
+  hill climbing, genetic) plus the Pareto/hypervolume utilities.
+* :mod:`repro.dse.engine` — the exploration driver: prune → search →
+  evaluate (serially or across a ``multiprocessing`` pool) → Pareto-rank,
+  including the shared-pool :class:`MultiBenchmarkExplorer`.
 
-``engine`` is imported lazily: it pulls in the whole compiler, and the
-analysis modules import :mod:`repro.dse.cache` at startup — an eager import
-here would be circular.
+``engine`` and ``search`` are imported lazily: they pull in the whole
+compiler, and the analysis modules import :mod:`repro.dse.cache` at
+startup — an eager import here would be circular.
 """
 
-from repro.dse.cache import ANALYSIS_CACHE, AnalysisCache
+from repro.dse.cache import ANALYSIS_CACHE, CACHE_VERSION, AnalysisCache
 
 __all__ = [
     "ANALYSIS_CACHE",
     "AnalysisCache",
+    "CACHE_VERSION",
     "DesignPoint",
     "DesignSpace",
     "ExplorationResult",
+    "GeneticStrategy",
+    "HillClimbStrategy",
+    "MultiBenchmarkExplorer",
     "PointResult",
+    "Strategy",
     "default_space",
     "estimate_point_area",
     "explore",
+    "get_strategy",
+    "hypervolume",
+    "run_search",
 ]
 
-_ENGINE_EXPORTS = {"ExplorationResult", "PointResult", "explore"}
+_ENGINE_EXPORTS = {"ExplorationResult", "MultiBenchmarkExplorer", "PointResult", "explore"}
 _SPACE_EXPORTS = {"DesignPoint", "DesignSpace", "default_space", "estimate_point_area"}
+_SEARCH_EXPORTS = {
+    "GeneticStrategy",
+    "HillClimbStrategy",
+    "Strategy",
+    "get_strategy",
+    "hypervolume",
+    "run_search",
+}
 
 
 def __getattr__(name: str):
@@ -42,4 +61,8 @@ def __getattr__(name: str):
         from repro.dse import space
 
         return getattr(space, name)
+    if name in _SEARCH_EXPORTS:
+        from repro.dse import search
+
+        return getattr(search, name)
     raise AttributeError(f"module 'repro.dse' has no attribute {name!r}")

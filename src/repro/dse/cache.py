@@ -19,6 +19,27 @@ keyed by name (sizes) or an input-shape table keyed by name, a matching
 (structure, names → values) pair fully determines the analysis result; the
 cache is exact, not approximate.
 
+Memory bounding
+---------------
+
+Each table is an LRU: hits refresh recency and inserts evict the least
+recently used entry once the table exceeds ``maxsize``.  Long multi-sweep
+processes (CI, the multi-benchmark explorer) therefore hold a bounded
+working set instead of growing without limit; evictions are counted in
+:meth:`AnalysisCache.stats`.
+
+Disk persistence
+----------------
+
+:meth:`AnalysisCache.save_disk` / :meth:`AnalysisCache.load_disk` persist
+the tables across processes.  Structural hashes are deterministic across
+interpreter runs (blake2b, see ``repro.ppl.ir.structural_hash``), so keys
+written by one sweep match lookups in the next — repeated sweeps and CI
+runs reuse tiling results and whole point evaluations without recompiling.
+Writes are atomic (temp file + ``os.replace``), and the payload carries
+``CACHE_VERSION``: a version mismatch silently invalidates the file, which
+is how stale stores from older key schemes are retired.
+
 Invalidation rules:
 
 * Entries never go stale through IR mutation — IR nodes are immutable and
@@ -28,45 +49,83 @@ Invalidation rules:
 * :meth:`AnalysisCache.clear` drops everything (used between benchmark
   sweeps and by tests); :meth:`AnalysisCache.disabled` turns the cache off
   for a scope (used to time the cold path).
+* On disk, bumping :data:`CACHE_VERSION` invalidates every persisted store.
 """
 
 from __future__ import annotations
 
-from collections import Counter
+import os
+import pickle
+import tempfile
+from collections import Counter, OrderedDict
 from contextlib import contextmanager
-from typing import Callable, Dict, Hashable, Iterator, Mapping, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Hashable, Iterator, Mapping, Optional, Tuple, Union
 
 __all__ = [
     "AnalysisCache",
     "ANALYSIS_CACHE",
+    "CACHE_VERSION",
+    "DEFAULT_TABLE_MAXSIZE",
     "env_signature",
     "config_signature",
 ]
 
 _MISSING = object()
 
+#: Bump whenever the key scheme or cached value layout changes; persisted
+#: stores carrying a different version are ignored on load.
+CACHE_VERSION = 2
+
+#: Default per-table LRU bound of the process-global cache.  Generous enough
+#: that single sweeps never evict, small enough that week-long CI processes
+#: stay bounded.
+DEFAULT_TABLE_MAXSIZE = 65_536
+
 
 class AnalysisCache:
-    """A set of named memo tables with hit/miss accounting.
+    """A set of named LRU memo tables with hit/miss/eviction accounting.
 
-    Tables are plain dicts keyed by whatever hashable key the analysis
-    chooses (conventionally ``(structural_hash, env_signature)``).  The
+    Tables are ``OrderedDict``s keyed by whatever hashable key the analysis
+    chooses (conventionally ``(structural_hash, env_signature)``); each is
+    bounded to ``maxsize`` entries with least-recently-used eviction.  The
     cache can be disabled globally, in which case :meth:`memoize` always
     recomputes — the mechanism the benchmarks use to measure the uncached
     baseline.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, maxsize: Optional[int] = DEFAULT_TABLE_MAXSIZE) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1 or None, got {maxsize}")
         self.enabled: bool = True
-        self._tables: Dict[str, Dict[Hashable, object]] = {}
+        self.maxsize: Optional[int] = maxsize
+        self._tables: Dict[str, "OrderedDict[Hashable, object]"] = {}
         self.hits: Counter = Counter()
         self.misses: Counter = Counter()
+        self.evictions: Counter = Counter()
+        self._dirty: bool = False
+        self._clean_path: Optional[str] = None
+
+    @property
+    def dirty(self) -> bool:
+        """True when the tables changed since the last disk load/save."""
+        return self._dirty
 
     # -- core API ------------------------------------------------------------
-    def table(self, name: str) -> Dict[Hashable, object]:
+    def table(self, name: str) -> "OrderedDict[Hashable, object]":
         if name not in self._tables:
-            self._tables[name] = {}
+            self._tables[name] = OrderedDict()
         return self._tables[name]
+
+    def _insert(self, name: str, key: Hashable, value: object) -> None:
+        table = self.table(name)
+        self._dirty = True
+        table[key] = value
+        table.move_to_end(key)
+        if self.maxsize is not None:
+            while len(table) > self.maxsize:
+                table.popitem(last=False)
+                self.evictions[name] += 1
 
     def memoize(self, name: str, key: Hashable, compute: Callable[[], object]) -> object:
         """Return the cached value for ``key`` or compute and store it."""
@@ -75,17 +134,31 @@ class AnalysisCache:
         table = self.table(name)
         value = table.get(key, _MISSING)
         if value is not _MISSING:
+            table.move_to_end(key)
             self.hits[name] += 1
             return value
         self.misses[name] += 1
         value = compute()
-        table[key] = value
+        self._insert(name, key, value)
+        return value
+
+    def get(self, name: str, key: Hashable, default: object = None) -> object:
+        """Look up an entry (refreshing its recency) without computing."""
+        if not self.enabled:
+            return default
+        table = self._tables.get(name)
+        if table is None:
+            return default
+        value = table.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        table.move_to_end(key)
         return value
 
     def put(self, name: str, key: Hashable, value: object) -> None:
         """Seed an entry directly (bypasses hit/miss accounting)."""
         if self.enabled:
-            self.table(name)[key] = value
+            self._insert(name, key, value)
 
     # -- management ----------------------------------------------------------
     def clear(self, name: Optional[str] = None) -> None:
@@ -96,6 +169,7 @@ class AnalysisCache:
         self._tables.clear()
         self.hits.clear()
         self.misses.clear()
+        self.evictions.clear()
 
     def size(self, name: Optional[str] = None) -> int:
         if name is not None:
@@ -103,13 +177,14 @@ class AnalysisCache:
         return sum(len(t) for t in self._tables.values())
 
     def stats(self) -> Dict[str, Dict[str, int]]:
-        """Per-table entry/hit/miss counts (for benchmark reports)."""
-        names = set(self._tables) | set(self.hits) | set(self.misses)
+        """Per-table entry/hit/miss/eviction counts (for benchmark reports)."""
+        names = set(self._tables) | set(self.hits) | set(self.misses) | set(self.evictions)
         return {
             name: {
                 "entries": len(self._tables.get(name, ())),
                 "hits": self.hits.get(name, 0),
                 "misses": self.misses.get(name, 0),
+                "evictions": self.evictions.get(name, 0),
             }
             for name in sorted(names)
         }
@@ -123,6 +198,102 @@ class AnalysisCache:
             yield
         finally:
             self.enabled = previous
+
+    # -- disk persistence ----------------------------------------------------
+    def save_disk(self, path: Union[str, Path], only_if_dirty: bool = False) -> bool:
+        """Atomically persist every picklable table to ``path``.
+
+        Entries are written in LRU order (least recent first) so a
+        bounded reload reconstructs the same recency ordering.  Tables or
+        entries that fail to pickle are skipped — persistence is an
+        optimisation, never a correctness requirement.  Returns True when
+        a store was written.  ``only_if_dirty=True`` skips the write (and
+        the pickling cost) when nothing changed since the last load/save
+        *of this same path* — the warm-rerun fast path.  Saving to a
+        different path always writes: being clean with respect to one
+        store says nothing about another.
+        """
+        resolved = str(Path(path).resolve())
+        if only_if_dirty and not self._dirty and resolved == self._clean_path:
+            return False
+        tables: Dict[str, list] = {
+            name: list(table.items()) for name, table in self._tables.items() if table
+        }
+        payload = {"version": CACHE_VERSION, "tables": tables}
+        try:
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            # Some entry refused to pickle: filter entry by entry (the slow
+            # path — only ever paid when an unpicklable value sneaks in).
+            filtered: Dict[str, list] = {}
+            for name, entries in tables.items():
+                kept = []
+                for key, value in entries:
+                    try:
+                        pickle.dumps((key, value))
+                    except Exception:
+                        continue
+                    kept.append((key, value))
+                if kept:
+                    filtered[name] = kept
+            payload = {"version": CACHE_VERSION, "tables": filtered}
+            try:
+                blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                return False
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), prefix=path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp_name, str(path))
+        except Exception:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            return False
+        self._dirty = False
+        self._clean_path = resolved
+        return True
+
+    def load_disk(self, path: Union[str, Path]) -> int:
+        """Merge a persisted store into the live tables.
+
+        Entries already present keep their (fresher) values; loaded entries
+        are inserted oldest-first so LRU bounding favours what this process
+        uses.  A missing, corrupt, or version-mismatched store is ignored.
+        Returns the number of entries merged in.
+        """
+        path = Path(path)
+        if not path.exists():
+            return 0
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except Exception:
+            return 0
+        if not isinstance(payload, dict) or payload.get("version") != CACHE_VERSION:
+            return 0
+        had_entries = self.size() > 0
+        loaded = 0
+        for name, entries in payload.get("tables", {}).items():
+            table = self.table(name)
+            for key, value in entries:
+                if key in table:
+                    continue
+                self._insert(name, key, value)
+                loaded += 1
+        if had_entries:
+            # Pre-existing entries may not be in this store: stay (or
+            # become) dirty so a later save does not silently skip them.
+            self._dirty = True
+        else:
+            # The tables now mirror the store exactly.
+            self._dirty = False
+            self._clean_path = str(path.resolve())
+        return loaded
 
 
 #: The process-global cache every memoised analysis shares.  A forked

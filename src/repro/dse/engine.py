@@ -1,4 +1,4 @@
-"""The design-space exploration engine: prune → evaluate → Pareto-rank.
+"""The design-space exploration engine: prune → search → evaluate → rank.
 
 :func:`explore` drives the paper's central loop — tile a parallel-pattern
 program, generate a hardware design, estimate area and cycles — over a
@@ -7,21 +7,32 @@ configuration per benchmark:
 
 1. every point is scored by the closed-form area estimator and points that
    cannot fit the board are discarded before any compilation work;
-2. surviving points are compiled and simulated, either serially (sharing
-   the process-global analysis cache, so points differing only in
-   parallelism or metapipelining reuse one tiling result) or fanned out
-   across a ``multiprocessing`` pool;
+2. a search strategy (:mod:`repro.dse.search`) decides which surviving
+   points to evaluate — the exhaustive grid by default, hill climbing or a
+   genetic algorithm when the space is too big to enumerate — and the
+   engine evaluates its batches, either serially (sharing the
+   process-global analysis cache) or fanned out across a
+   ``multiprocessing`` pool;
 3. results come back Pareto-ranked on (cycles, area).
+
+Whole point evaluations are memoised in the analysis cache
+(``point_results`` table) keyed on the program's structural hash, the
+workload signature, the point and the board — and, with ``disk_cache=``,
+persisted across processes so repeated sweeps and CI runs skip compilation
+entirely for points they have seen before.
 
 :func:`evaluate_config` is the shared single-point path; the Figure 7
 harness routes its three-configuration sweep through it so the whole
-evaluation stack benefits from the same caches.
+evaluation stack benefits from the same caches.  For sweeping several
+benchmarks at once, :class:`MultiBenchmarkExplorer` runs every benchmark's
+search through **one** shared worker pool with interleaved scheduling,
+instead of paying one pool spin-up per sweep.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import astuple, dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -30,7 +41,7 @@ from repro.apps import get_benchmark
 from repro.apps.base import Benchmark
 from repro.compiler import CompilationResult, compile_program
 from repro.config import CompileConfig
-from repro.dse.cache import ANALYSIS_CACHE
+from repro.dse.cache import ANALYSIS_CACHE, env_signature
 from repro.dse.space import (
     DesignPoint,
     DesignSpace,
@@ -46,6 +57,7 @@ __all__ = [
     "EvaluatedConfig",
     "PointResult",
     "ExplorationResult",
+    "MultiBenchmarkExplorer",
     "evaluate_config",
     "evaluate_point",
     "explore",
@@ -101,6 +113,8 @@ class ExplorationResult:
     elapsed_seconds: float = 0.0
     workers: int = 1
     cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    strategy: str = "exhaustive"
+    space_size: int = 0
 
     @property
     def pareto(self) -> List[PointResult]:
@@ -119,7 +133,7 @@ class ExplorationResult:
             f"{'design point':<40} {'cycles':>14} {'logic':>8} {'mem KiB':>9} {'util':>6}"
         )
         lines = [
-            f"DSE {self.benchmark} on {self.board_name}: "
+            f"DSE {self.benchmark} on {self.board_name} [{self.strategy}]: "
             f"{len(self.evaluated)} evaluated, {len(self.pruned)} pruned, "
             f"{self.elapsed_seconds:.2f}s ({self.workers} worker(s))",
             header,
@@ -137,12 +151,12 @@ def pareto_front(results: Sequence[PointResult]) -> List[PointResult]:
     """Points not dominated on (cycles, logic+memory area), fastest first.
 
     A point dominates another when it is no worse on both cycles and area
-    and strictly better on at least one.
+    and strictly better on at least one.  Ties on both objectives are broken
+    by label, so the front is canonical — independent of evaluation order.
     """
-    def area_key(r: PointResult) -> float:
-        return r.max_utilization if r.utilization else r.logic
+    from repro.dse.search import area_key
 
-    ordered = sorted(results, key=lambda r: (r.cycles, area_key(r)))
+    ordered = sorted(results, key=lambda r: (r.cycles, area_key(r), r.label))
     front: List[PointResult] = []
     best_area = float("inf")
     for result in ordered:
@@ -177,6 +191,38 @@ def evaluate_config(
     return EvaluatedConfig(label=config.label, compilation=compilation, simulation=simulation)
 
 
+def _point_result_key(
+    program: Program,
+    bindings: Mapping[str, object],
+    point: DesignPoint,
+    board: Board,
+    model: Optional[PerformanceModel],
+) -> Optional[Tuple]:
+    """Cross-process cache key for one whole point evaluation, or None.
+
+    Exploration results are size-driven (array *contents* never reach the
+    static analyses or the cycle model), so the workload signature —
+    structural hash plus size/shape bindings — plus the point, board and
+    model parameters fully determines the outcome.  Subclassed boards or
+    models fall back to None (no memoisation) rather than risk a stale hit.
+    """
+    if type(board) is not Board or (model is not None and type(model) is not PerformanceModel):
+        return None
+    from repro.analysis.estimate import input_shapes, workload_env
+
+    return (
+        program.body.structural_hash(),
+        tuple(array.name for array in program.inputs),
+        tuple(size.name for size in program.sizes),
+        env_signature(workload_env(program, bindings), input_shapes(program, bindings)),
+        point.tile_sizes,
+        point.par,
+        point.metapipelining,
+        astuple(board),
+        astuple(model) if model is not None else (),
+    )
+
+
 def evaluate_point(
     program: Program,
     bindings: Mapping[str, object],
@@ -184,29 +230,70 @@ def evaluate_point(
     board: Board = DEFAULT_BOARD,
     model: Optional[PerformanceModel] = None,
 ) -> PointResult:
-    """Evaluate one design point to its scalar (cycles, area) outcome."""
-    evaluated = evaluate_config(
-        program, point.config(), bindings, board=board, par=point.par, model=model
-    )
-    area = evaluated.compilation.area
-    design = evaluated.compilation.design
-    return PointResult(
-        point=point,
-        cycles=evaluated.simulation.cycles,
-        seconds=evaluated.simulation.seconds,
-        logic=area.total.logic,
-        ffs=area.total.ffs,
-        bram_bits=area.total.bram_bits,
-        dsps=area.total.dsps,
-        utilization={
-            "logic": area.logic_utilization,
-            "ffs": area.ff_utilization,
-            "bram": area.bram_utilization,
-            "dsps": area.dsp_utilization,
-        },
-        read_bytes=design.main_memory_read_bytes,
-        write_bytes=design.main_memory_write_bytes,
-    )
+    """Evaluate one design point to its scalar (cycles, area) outcome.
+
+    Whole evaluations are memoised in the analysis cache (``point_results``
+    table) under a process-stable key, so re-sweeps in one process — and,
+    through the disk-persisted store, across processes — skip compilation
+    and simulation entirely.
+    """
+
+    def compute() -> PointResult:
+        evaluated = evaluate_config(
+            program, point.config(), bindings, board=board, par=point.par, model=model
+        )
+        area = evaluated.compilation.area
+        design = evaluated.compilation.design
+        return PointResult(
+            point=point,
+            cycles=evaluated.simulation.cycles,
+            seconds=evaluated.simulation.seconds,
+            logic=area.total.logic,
+            ffs=area.total.ffs,
+            bram_bits=area.total.bram_bits,
+            dsps=area.total.dsps,
+            utilization={
+                "logic": area.logic_utilization,
+                "ffs": area.ff_utilization,
+                "bram": area.bram_utilization,
+                "dsps": area.dsp_utilization,
+            },
+            read_bytes=design.main_memory_read_bytes,
+            write_bytes=design.main_memory_write_bytes,
+        )
+
+    if not ANALYSIS_CACHE.enabled:
+        return compute()
+    key = _point_result_key(program, bindings, point, board, model)
+    if key is None:
+        return compute()
+    cached = ANALYSIS_CACHE.memoize("point_results", key, compute)
+    # Hand out a copy so callers mutating the utilization dict (or the
+    # result) cannot poison the shared cache entry.
+    return replace(cached, utilization=dict(cached.utilization))
+
+
+def _seed_point_results(
+    program: Program,
+    bindings: Mapping[str, object],
+    board: Board,
+    model: Optional[PerformanceModel],
+    points: Sequence[DesignPoint],
+    results: Sequence[PointResult],
+) -> None:
+    """Insert pool-computed evaluations into this process's cache.
+
+    Forked workers memoise in their own copies of the cache; without this,
+    a parallel sweep would leave the parent's ``point_results`` table empty
+    and the disk store (plus later serial reruns) would gain nothing from
+    the run.
+    """
+    if not ANALYSIS_CACHE.enabled:
+        return
+    for point, result in zip(points, results):
+        key = _point_result_key(program, bindings, point, board, model)
+        if key is not None:
+            ANALYSIS_CACHE.put("point_results", key, result)
 
 
 # ---------------------------------------------------------------------------
@@ -230,22 +317,37 @@ _WORKER_STATE: Dict[str, object] = {}
 
 
 def _init_worker(
-    bench_name: str, sizes: Dict[str, int], seed: int, board, model, memoize: bool = True
+    specs: Dict[str, Tuple[Dict[str, int], int]], board, model, memoize: bool = True
 ) -> None:
-    bench = get_benchmark(bench_name)
-    _WORKER_STATE["program"] = bench.build()
-    _WORKER_STATE["bindings"] = bench.bindings(sizes, np.random.default_rng(seed))
+    """Initialise one pool worker for a set of benchmarks.
+
+    ``specs`` maps benchmark name → (sizes, input seed).  Programs and
+    bindings are built lazily on first use, so a worker that only ever sees
+    tasks for one benchmark never pays for the others.
+    """
+    _WORKER_STATE["specs"] = dict(specs)
     _WORKER_STATE["board"] = board
     _WORKER_STATE["model"] = model
+    _WORKER_STATE["programs"] = {}
     if not memoize:
         ANALYSIS_CACHE.clear()
         ANALYSIS_CACHE.enabled = False
 
 
-def _evaluate_point_task(point: DesignPoint) -> PointResult:
+def _evaluate_point_task(task: Tuple[str, DesignPoint]) -> PointResult:
+    bench_name, point = task
+    programs: Dict[str, Tuple[Program, Dict[str, object]]] = _WORKER_STATE["programs"]
+    if bench_name not in programs:
+        sizes, seed = _WORKER_STATE["specs"][bench_name]
+        bench = get_benchmark(bench_name)
+        programs[bench_name] = (
+            bench.build(),
+            bench.bindings(sizes, np.random.default_rng(seed)),
+        )
+    program, bindings = programs[bench_name]
     return evaluate_point(
-        _WORKER_STATE["program"],
-        _WORKER_STATE["bindings"],
+        program,
+        bindings,
         point,
         board=_WORKER_STATE["board"],
         model=_WORKER_STATE["model"],
@@ -255,6 +357,36 @@ def _evaluate_point_task(point: DesignPoint) -> PointResult:
 # ---------------------------------------------------------------------------
 # The exploration driver
 # ---------------------------------------------------------------------------
+
+
+def _prune_space(
+    space: DesignSpace,
+    shapes: Mapping[str, Tuple[int, ...]],
+    sizes: Mapping[str, int],
+    board: Board,
+    budget: float,
+    prune: bool,
+) -> Tuple[List[DesignPoint], List[PointResult]]:
+    if not prune:
+        return list(space), []
+    survivors: List[DesignPoint] = []
+    pruned_results: List[PointResult] = []
+    for point in space:
+        decision = estimate_point_area(shapes, sizes, point, board, budget=budget)
+        if decision.feasible:
+            survivors.append(point)
+        else:
+            pruned_results.append(
+                PointResult(
+                    point=point,
+                    logic=decision.logic,
+                    bram_bits=decision.bram_bits,
+                    dsps=decision.dsps,
+                    pruned=True,
+                    prune_reason=decision.reason,
+                )
+            )
+    return survivors, pruned_results
 
 
 def explore(
@@ -268,6 +400,11 @@ def explore(
     prune: bool = True,
     model: Optional[PerformanceModel] = None,
     seed: int = 3,
+    strategy: Union[str, "Strategy", None] = None,  # noqa: F821
+    max_evaluations: Optional[int] = None,
+    eval_fraction: Optional[float] = None,
+    search_seed: int = 0,
+    disk_cache: Optional[object] = None,
 ) -> ExplorationResult:
     """Explore a benchmark's design space and return Pareto-ranked results.
 
@@ -281,8 +418,9 @@ def explore(
         budget: fraction of each device resource a point may use before the
             analytical pre-filter prunes it (1.0 = the whole chip).
         workers: worker processes; ``None`` and 1 evaluate in-process,
-            larger values fan points out over a ``multiprocessing`` pool
-            (requires ``bench`` to be a registered benchmark name).
+            larger values fan each search batch out over a
+            ``multiprocessing`` pool (requires ``bench`` to be a registered
+            benchmark name).
         memoize: share tiling results and analysis values through the
             process-global cache.  ``False`` clears the cache and disables
             it for the duration of the run — the cold path the benchmarks
@@ -291,7 +429,21 @@ def explore(
         model: performance-model override for simulation.
         seed: RNG seed for input generation (results are size-driven, so
             the seed only affects array contents).
+        strategy: search strategy — a name (``"exhaustive"``,
+            ``"hill-climb"``, ``"genetic"``) or a
+            :class:`repro.dse.search.Strategy` instance.  ``None`` is the
+            exhaustive grid, PR 1's behaviour.
+        max_evaluations: hard cap on evaluated points (search budget).
+        eval_fraction: alternative budget as a fraction of the surviving
+            points (ignored when ``max_evaluations`` is given).
+        search_seed: seed of the strategy's RNG — search trajectories are
+            deterministic for a fixed value.
+        disk_cache: path of a persisted analysis store; loaded before and
+            saved after the run, so repeated sweeps across processes reuse
+            tilings and whole point evaluations.
     """
+    from repro.dse.search import get_strategy, run_search
+
     benchmark = get_benchmark(bench) if isinstance(bench, str) else bench
     sizes = dict(sizes or benchmark.default_sizes)
     bindings = benchmark.bindings(sizes, np.random.default_rng(seed))
@@ -305,43 +457,54 @@ def explore(
     shapes = input_shapes(program, bindings)
     started = time.perf_counter()
 
-    survivors: List[DesignPoint] = []
-    pruned_results: List[PointResult] = []
-    if prune:
-        for point in space:
-            decision = estimate_point_area(shapes, sizes, point, board, budget=budget)
-            if decision.feasible:
-                survivors.append(point)
-            else:
-                pruned_results.append(
-                    PointResult(
-                        point=point,
-                        logic=decision.logic,
-                        bram_bits=decision.bram_bits,
-                        dsps=decision.dsps,
-                        pruned=True,
-                        prune_reason=decision.reason,
-                    )
-                )
-    else:
-        survivors = list(space)
+    survivors, pruned_results = _prune_space(space, shapes, sizes, board, budget, prune)
+    survivor_space = DesignSpace().extend(survivors)
+
+    strat = get_strategy(strategy)
+    if max_evaluations is None and eval_fraction is not None:
+        max_evaluations = max(1, int(eval_fraction * len(survivors)))
 
     workers = workers if workers is not None else 1
     workers = min(workers, len(survivors)) if survivors else 1
 
+    if memoize and disk_cache is not None:
+        ANALYSIS_CACHE.load_disk(disk_cache)
+
+    def _search(evaluate) -> List[PointResult]:
+        outcome = run_search(
+            strat,
+            survivor_space,
+            evaluate,
+            seed=search_seed,
+            max_evaluations=max_evaluations,
+        )
+        return outcome.evaluated
+
     def _run_serial() -> List[PointResult]:
-        return [
-            evaluate_point(program, bindings, point, board=board, model=model)
-            for point in survivors
-        ]
+        return _search(
+            lambda points: [
+                evaluate_point(program, bindings, point, board=board, model=model)
+                for point in points
+            ]
+        )
 
     def _run_pool() -> List[PointResult]:
+        specs = {benchmark.name: (sizes, seed)}
+
+        def evaluate(points: Sequence[DesignPoint]) -> List[PointResult]:
+            results = pool.map(
+                _evaluate_point_task, [(benchmark.name, p) for p in points]
+            )
+            if memoize:
+                _seed_point_results(program, bindings, board, model, points, results)
+            return results
+
         with pool_context().Pool(
             processes=workers,
             initializer=_init_worker,
-            initargs=(benchmark.name, sizes, seed, board, model, memoize),
+            initargs=(specs, board, model, memoize),
         ) as pool:
-            return pool.map(_evaluate_point_task, survivors)
+            return _search(evaluate)
 
     if not memoize:
         ANALYSIS_CACHE.clear()
@@ -349,6 +512,9 @@ def explore(
             evaluated = _run_pool() if workers > 1 else _run_serial()
     else:
         evaluated = _run_pool() if workers > 1 else _run_serial()
+
+    if memoize and disk_cache is not None:
+        ANALYSIS_CACHE.save_disk(disk_cache, only_if_dirty=True)
 
     elapsed = time.perf_counter() - started
     # Workers memoize in their own forked copies of the cache, so parent
@@ -364,4 +530,234 @@ def explore(
         elapsed_seconds=elapsed,
         workers=workers,
         cache_stats=stats,
+        strategy=strat.name,
+        space_size=len(space),
     )
+
+
+# ---------------------------------------------------------------------------
+# Multi-benchmark exploration over one shared pool
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Lane:
+    """Per-benchmark search state inside the multi-benchmark explorer."""
+
+    benchmark: Benchmark
+    sizes: Dict[str, int]
+    program: Program
+    bindings: Dict[str, object]
+    driver: object  # repro.dse.search.SearchDriver
+    pruned: List[PointResult]
+    space_size: int
+    elapsed_seconds: float = 0.0
+
+
+class MultiBenchmarkExplorer:
+    """Run several benchmarks' searches through one shared worker pool.
+
+    A per-benchmark :func:`explore` pays one pool spin-up per sweep and
+    leaves workers idle while a small benchmark finishes; this explorer
+    instead keeps **one** pool alive and interleaves the benchmarks' search
+    batches round-robin across it, so a long benchmark cannot starve the
+    others and every fork is amortised over the whole suite.
+
+    Every benchmark runs the same strategy (fresh instance each, seeded
+    deterministically per lane) against its own pruned space; results come
+    back as one :class:`ExplorationResult` per benchmark.
+    """
+
+    def __init__(
+        self,
+        benchmarks: Sequence[Union[str, Benchmark]],
+        sizes: Optional[Mapping[str, Mapping[str, int]]] = None,
+        board: Board = DEFAULT_BOARD,
+        strategy: Union[str, "Strategy", None] = None,  # noqa: F821
+        budget: float = 1.0,
+        prune: bool = True,
+        workers: Optional[int] = None,
+        model: Optional[PerformanceModel] = None,
+        seed: int = 3,
+        search_seed: int = 0,
+        eval_fraction: Optional[float] = None,
+        max_evaluations: Optional[int] = None,
+        disk_cache: Optional[object] = None,
+    ) -> None:
+        self.benchmarks = [
+            get_benchmark(bench) if isinstance(bench, str) else bench for bench in benchmarks
+        ]
+        self.sizes = dict(sizes or {})
+        self.board = board
+        self.strategy = strategy
+        self.budget = budget
+        self.prune = prune
+        self.workers = workers
+        self.model = model
+        self.seed = seed
+        self.search_seed = search_seed
+        self.eval_fraction = eval_fraction
+        self.max_evaluations = max_evaluations
+        self.disk_cache = disk_cache
+
+    def _build_lanes(self) -> List[_Lane]:
+        from repro.analysis.estimate import input_shapes
+        from repro.dse.search import SearchDriver
+
+        lanes: List[_Lane] = []
+        for benchmark in self.benchmarks:
+            sizes = dict(self.sizes.get(benchmark.name) or benchmark.default_sizes)
+            bindings = benchmark.bindings(sizes, np.random.default_rng(self.seed))
+            program = benchmark.build()
+            tiled_dims = {
+                name: sizes[name] for name in benchmark.tile_sizes if name in sizes
+            }
+            space = default_space(tiled_dims)
+            shapes = input_shapes(program, bindings)
+            survivors, pruned = _prune_space(
+                space, shapes, sizes, self.board, self.budget, self.prune
+            )
+            survivor_space = DesignSpace().extend(survivors)
+            cap = self.max_evaluations
+            if cap is None and self.eval_fraction is not None:
+                cap = max(1, int(self.eval_fraction * len(survivors)))
+            # Every lane uses the same search seed, so the shared pool is a
+            # pure scheduling optimisation: each benchmark evaluates exactly
+            # the points a standalone explore(search_seed=...) would.
+            lanes.append(
+                _Lane(
+                    benchmark=benchmark,
+                    sizes=sizes,
+                    program=program,
+                    bindings=bindings,
+                    driver=SearchDriver(
+                        self.strategy,
+                        survivor_space,
+                        seed=self.search_seed,
+                        max_evaluations=cap,
+                    ),
+                    pruned=pruned,
+                    space_size=len(space),
+                )
+            )
+        return lanes
+
+    def run(self) -> Dict[str, ExplorationResult]:
+        """Drive every lane to completion and return results per benchmark."""
+        started = time.perf_counter()
+        if self.disk_cache is not None:
+            ANALYSIS_CACHE.load_disk(self.disk_cache)
+        lanes = self._build_lanes()
+        for lane in lanes:
+            lane.driver.start()
+
+        total_points = sum(
+            len(lane.driver.requested) for lane in lanes
+        )  # first-round estimate only, used to cap workers
+        workers = self.workers if self.workers is not None else 1
+        workers = min(workers, max(1, total_points))
+
+        if workers > 1:
+            specs = {lane.benchmark.name: (lane.sizes, self.seed) for lane in lanes}
+            by_name = {lane.benchmark.name: lane for lane in lanes}
+
+            def pooled_evaluate(tasks):
+                results = pool.map(_evaluate_point_task, tasks)
+                for (bench_name, point), result in zip(tasks, results):
+                    lane = by_name[bench_name]
+                    _seed_point_results(
+                        lane.program,
+                        lane.bindings,
+                        self.board,
+                        self.model,
+                        [point],
+                        [result],
+                    )
+                return results
+
+            with pool_context().Pool(
+                processes=workers,
+                initializer=_init_worker,
+                initargs=(specs, self.board, self.model, True),
+            ) as pool:
+                self._drive(lanes, pooled_evaluate, started)
+        else:
+            self._drive(lanes, self._serial_evaluate(lanes), started)
+
+        if self.disk_cache is not None:
+            ANALYSIS_CACHE.save_disk(self.disk_cache, only_if_dirty=True)
+
+        results: Dict[str, ExplorationResult] = {}
+        for lane in lanes:
+            results[lane.benchmark.name] = ExplorationResult(
+                benchmark=lane.benchmark.name,
+                sizes=lane.sizes,
+                board_name=self.board.name,
+                evaluated=list(lane.driver.seen.values()),
+                pruned=lane.pruned,
+                # Completion latency of this lane within the interleaved
+                # suite (joint batches make exclusive attribution moot).
+                elapsed_seconds=lane.elapsed_seconds,
+                workers=workers,
+                strategy=lane.driver.strategy.name,
+                space_size=lane.space_size,
+            )
+        return results
+
+    def _serial_evaluate(self, lanes: List[_Lane]):
+        by_name = {lane.benchmark.name: lane for lane in lanes}
+
+        def evaluate(tasks: List[Tuple[str, DesignPoint]]) -> List[PointResult]:
+            out = []
+            for bench_name, point in tasks:
+                lane = by_name[bench_name]
+                out.append(
+                    evaluate_point(
+                        lane.program,
+                        lane.bindings,
+                        point,
+                        board=self.board,
+                        model=self.model,
+                    )
+                )
+            return out
+
+        return evaluate
+
+    def _drive(self, lanes: List[_Lane], evaluate, started: float) -> None:
+        """Round-robin the lanes' batches over one evaluator until all finish."""
+        while any(not lane.driver.done for lane in lanes):
+            active = [lane for lane in lanes if not lane.driver.done]
+            per_lane = {id(lane): lane.driver.fresh_points() for lane in active}
+
+            # Interleave: lane A point 1, lane B point 1, lane A point 2, …
+            tasks: List[Tuple[str, DesignPoint]] = []
+            owners: List[_Lane] = []
+            cursor = 0
+            while True:
+                emitted = False
+                for lane in active:
+                    fresh = per_lane[id(lane)]
+                    if cursor < len(fresh):
+                        tasks.append((lane.benchmark.name, fresh[cursor]))
+                        owners.append(lane)
+                        emitted = True
+                cursor += 1
+                if not emitted:
+                    break
+
+            if tasks:
+                results = evaluate(tasks)
+                by_lane: Dict[int, Tuple[List[DesignPoint], List[PointResult]]] = {}
+                for (bench_name, point), lane, result in zip(tasks, owners, results):
+                    points, outcomes = by_lane.setdefault(id(lane), ([], []))
+                    points.append(point)
+                    outcomes.append(result)
+                for lane in active:
+                    points, outcomes = by_lane.get(id(lane), ([], []))
+                    lane.driver.record(points, outcomes)
+
+            for lane in active:
+                lane.driver.advance()
+                if lane.driver.done:
+                    lane.elapsed_seconds = time.perf_counter() - started

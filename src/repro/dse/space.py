@@ -90,9 +90,21 @@ class DesignPoint:
 
 @dataclass
 class DesignSpace:
-    """An ordered, duplicate-free collection of design points."""
+    """An ordered, duplicate-free collection of design points.
+
+    Membership checks are O(1): the search strategies snap every proposed
+    move to the space, so ``point in space`` sits on their hot path, and
+    enumerating a thousand-point sweep must not pay a quadratic dedupe.
+    """
 
     points: List[DesignPoint] = field(default_factory=list)
+    _members: set = field(default_factory=set, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.points and not self._members:
+            unique = list(dict.fromkeys(self.points))
+            self.points = unique
+            self._members = set(unique)
 
     def __iter__(self) -> Iterator[DesignPoint]:
         return iter(self.points)
@@ -100,9 +112,13 @@ class DesignSpace:
     def __len__(self) -> int:
         return len(self.points)
 
+    def __contains__(self, point: DesignPoint) -> bool:
+        return point in self._members
+
     def add(self, point: DesignPoint) -> None:
-        if point not in self.points:
+        if point not in self._members:
             self.points.append(point)
+            self._members.add(point)
 
     def extend(self, points: Iterable[DesignPoint]) -> "DesignSpace":
         for point in points:

@@ -7,6 +7,14 @@ same innermost parallelism factor (Section 6.2), simulates them, and reports
 * the speedup of each optimised design over the baseline (Figure 7, top), and
 * the resource use of each optimised design relative to the baseline for
   logic, flip-flops and on-chip memory (Figure 7, bottom).
+
+Beyond the paper's three fixed configurations, ``run_figure7`` can search
+each benchmark's whole design space: ``dse_strategy="hill-climb"`` (or
+``"genetic"``, ``"exhaustive"``) runs the DSE engine per benchmark — all
+benchmarks sharing **one** worker pool through
+:class:`repro.dse.engine.MultiBenchmarkExplorer` when ``dse_shared_pool``
+is set — and reports the best point found as an extra ``dse-best`` column
+in the speedup table.
 """
 
 from __future__ import annotations
@@ -52,13 +60,16 @@ class ConfigResult:
 
 @dataclass
 class BenchmarkResult:
-    """All three configurations of one benchmark."""
+    """All three configurations of one benchmark (plus an optional DSE best)."""
 
     name: str
     sizes: Dict[str, int]
     baseline: ConfigResult
     tiling: ConfigResult
     metapipelining: ConfigResult
+    dse_best: Optional[object] = None  # PointResult of the searched best point
+    dse_strategy: str = ""
+    dse_evaluations: int = 0
 
     @property
     def speedup_tiling(self) -> float:
@@ -68,11 +79,21 @@ class BenchmarkResult:
     def speedup_metapipelining(self) -> float:
         return speedup(self.baseline.simulation, self.metapipelining.simulation)
 
+    @property
+    def speedup_dse(self) -> Optional[float]:
+        """Speedup of the searched best design over the baseline (or None)."""
+        if self.dse_best is None or not self.dse_best.seconds:
+            return None
+        return self.baseline.simulation.seconds / self.dse_best.seconds
+
     def speedups(self) -> Dict[str, float]:
-        return {
+        table = {
             "tiling": self.speedup_tiling,
             "tiling+metapipelining": self.speedup_metapipelining,
         }
+        if self.speedup_dse is not None:
+            table["dse-best"] = self.speedup_dse
+        return table
 
 
 @dataclass
@@ -88,19 +109,26 @@ class Figure7Report:
         raise KeyError(name)
 
     def speedup_table(self) -> str:
+        with_dse = any(result.dse_best is not None for result in self.results)
         header = (
             f"{'benchmark':<10} {'+tiling':>10} {'+tiling+meta':>14}"
             f" {'paper +tiling':>14} {'paper +meta':>12}"
         )
+        if with_dse:
+            header += f" {'dse-best':>10}"
         lines = [header, "-" * len(header)]
         for result in self.results:
             paper = PAPER_FIGURE7.get(result.name, {})
-            lines.append(
+            line = (
                 f"{result.name:<10} {result.speedup_tiling:>10.1f} "
                 f"{result.speedup_metapipelining:>14.1f} "
                 f"{paper.get('tiling', float('nan')):>14.1f} "
                 f"{paper.get('tiling+metapipelining', float('nan')):>12.1f}"
             )
+            if with_dse:
+                dse = result.speedup_dse
+                line += f" {dse:>10.1f}" if dse is not None else f" {'-':>10}"
+            lines.append(line)
         return "\n".join(lines)
 
     def resource_table(self) -> str:
@@ -187,12 +215,27 @@ def run_figure7(
     model: Optional[PerformanceModel] = None,
     sizes_override: Optional[Mapping[str, Mapping[str, int]]] = None,
     workers: Optional[int] = None,
+    dse_strategy: Optional[str] = None,
+    dse_eval_fraction: Optional[float] = 0.4,
+    dse_shared_pool: bool = True,
+    dse_disk_cache: Optional[object] = None,
 ) -> Figure7Report:
     """Reproduce Figure 7 across the benchmark suite.
 
     ``workers > 1`` fans the per-benchmark sweeps out over a
     ``multiprocessing`` pool (one benchmark per task); the default runs
     serially, sharing the warm analysis caches across benchmarks.
+
+    ``dse_strategy`` additionally searches each benchmark's design space
+    (``"exhaustive"``, ``"hill-climb"``, ``"genetic"`` or a
+    :class:`repro.dse.search.Strategy`) and attaches the best point found
+    to each row; ``dse_eval_fraction`` bounds the search budget as a
+    fraction of the surviving space (ignored for the exhaustive strategy,
+    whose whole point is sweeping the full grid).  With ``dse_shared_pool``
+    (the default) every benchmark's search runs through **one** shared
+    worker pool with interleaved scheduling instead of one pool per sweep;
+    ``dse_disk_cache`` names a persisted analysis store so repeated runs
+    (CI) skip already-evaluated points.
     """
     names = list(benchmarks) if benchmarks else [bench.name for bench in all_benchmarks()]
     tasks = [(name, (sizes_override or {}).get(name), board, model) for name in names]
@@ -204,4 +247,49 @@ def run_figure7(
             report.results = pool.map(_run_benchmark_task, tasks)
     else:
         report.results = [_run_benchmark_task(task) for task in tasks]
+
+    if dse_strategy is not None:
+        from repro.dse.engine import MultiBenchmarkExplorer, explore
+        from repro.dse.search import ExhaustiveStrategy, get_strategy
+
+        strategy = get_strategy(dse_strategy)
+        # A budget fraction would silently truncate the exhaustive grid to an
+        # enumeration-order prefix — exactly what "exhaustive" promises not
+        # to do — so it only applies to the iterative strategies.
+        eval_fraction = None if isinstance(strategy, ExhaustiveStrategy) else dse_eval_fraction
+        sizes_map = {
+            result.name: dict(result.sizes) for result in report.results
+        }
+        if dse_shared_pool:
+            explorations = MultiBenchmarkExplorer(
+                names,
+                sizes=sizes_map,
+                board=board,
+                strategy=dse_strategy,
+                workers=workers,
+                model=model,
+                eval_fraction=eval_fraction,
+                disk_cache=dse_disk_cache,
+            ).run()
+        else:
+            explorations = {
+                name: explore(
+                    name,
+                    sizes=sizes_map.get(name),
+                    board=board,
+                    workers=workers,
+                    model=model,
+                    strategy=dse_strategy,
+                    eval_fraction=eval_fraction,
+                    disk_cache=dse_disk_cache,
+                )
+                for name in names
+            }
+        for result in report.results:
+            exploration = explorations.get(result.name)
+            if exploration is None:
+                continue
+            result.dse_best = exploration.best
+            result.dse_strategy = exploration.strategy
+            result.dse_evaluations = len(exploration.evaluated)
     return report

@@ -33,7 +33,11 @@ operations instead of one recursive Python evaluation per element:
   reduces with ``ufunc.accumulate`` in the reference's left-to-right
   row-major order, so the result is bit-for-bit identical;
 * a MultiFold writing accumulator location ``(i, …)`` taken directly from
-  its index variables reduces along the non-location axes the same way.
+  its index variables reduces along the non-location axes the same way;
+* a FlatMap filter — ``Select(pred, ArrayLit(...), EmptyArray())`` in
+  either branch order, or an unconditional ``ArrayLit`` body — evaluates
+  predicate and elements on the whole grid and gathers surviving rows in
+  row-major order.
 
 Bodies outside this fragment (tuple-valued results, data-dependent
 locations, array-typed ``Let`` bindings, tile copies, …) fall back to the
@@ -402,6 +406,10 @@ class Interpreter:
         return acc
 
     def _eval_FlatMap(self, expr: FlatMap, env) -> Value:
+        if self.vectorize:
+            result = self._vector_flatmap(expr, env)
+            if result is not None:
+                return result
         indices = self._domain_indices(expr.domain, env)
         chunks = []
         for index in indices:
@@ -542,6 +550,74 @@ class Interpreter:
             seq = np.concatenate([out[region][..., None], ordered], axis=-1)
             out[region] = op.accumulate(seq, axis=-1)[..., -1]
         return out
+
+    def _vector_flatmap(self, expr: FlatMap, env: Dict[Sym, Value]) -> Optional[np.ndarray]:
+        """Whole-array evaluation of a FlatMap filter, or None to fall back.
+
+        Covers the filter idiom — ``Select(pred, ArrayLit(...),
+        EmptyArray())`` in either branch order — and the unconditional
+        ``ArrayLit(...)`` body, with vectorizable scalar predicate and
+        elements.  Predicate and elements are evaluated on the whole index
+        grid and surviving rows gathered in row-major order, which matches
+        the reference's per-index concatenation bit for bit.  Speculative
+        hazards (reads out of bounds or division by zero in filtered-out
+        positions) raise :class:`_VectorFallback` from the shared ``_veval``
+        machinery, handing the pattern back to the reference path.
+        """
+        element = expr.ty.element
+        if not isinstance(element, ScalarType):
+            return None
+        params = expr.func.params
+        grid_syms = frozenset(params)
+        body = expr.func.body
+
+        cond: Optional[Expr] = None
+        negate = False
+        if isinstance(body, Select):
+            if isinstance(body.if_true, ArrayLit) and isinstance(body.if_false, EmptyArray):
+                lit, cond = body.if_true, body.cond
+            elif isinstance(body.if_false, ArrayLit) and isinstance(body.if_true, EmptyArray):
+                lit, cond, negate = body.if_false, body.cond, True
+            else:
+                return None
+        elif isinstance(body, ArrayLit):
+            lit = body
+        else:
+            return None
+
+        if cond is not None and not _vectorizable(cond, grid_syms):
+            return None
+        if not all(_vectorizable(e, grid_syms) for e in lit.elements):
+            return None
+
+        shape = self._domain_shape(expr.domain, env)
+        if not lit.elements or shape[0] == 0:
+            return np.zeros((0,), dtype=_numpy_dtype(element))
+        grid = self._index_grids(params, expr.domain, env, lead_rank=0)
+        if grid is None:
+            return None
+        try:
+            with np.errstate(all="ignore"):
+                if cond is None:
+                    mask = np.ones(shape, dtype=bool)
+                else:
+                    mask = np.broadcast_to(
+                        np.asarray(self._veval(cond, env, grid, rank=1)), shape
+                    ).astype(bool)
+                    if negate:
+                        mask = ~mask
+                columns = [
+                    np.broadcast_to(np.asarray(self._veval(e, env, grid, rank=1)), shape)
+                    for e in lit.elements
+                ]
+        except _VectorFallback:
+            return None
+        stacked = np.stack(columns, axis=-1)
+        if stacked.dtype == object:
+            return None
+        if not mask.any():
+            return np.zeros((0,), dtype=_numpy_dtype(element))
+        return stacked[mask].ravel()
 
     def _vector_fold_values(
         self,

@@ -23,7 +23,9 @@ equality; structural comparison lives in :mod:`repro.ppl.traversal`.
 
 from __future__ import annotations
 
+import hashlib as _hashlib
 import itertools
+import struct as _struct
 from typing import Iterable, Optional, Sequence, Union
 
 from repro.errors import IRError, TypeInferenceError
@@ -757,6 +759,61 @@ class GroupByFold(Pattern):
 # ---------------------------------------------------------------------------
 
 
+def _stable_encode(value, out: list) -> None:
+    """Append a canonical byte encoding of ``value`` to ``out``.
+
+    The encoding is type-tagged and length-delimited so distinct values
+    never collide by concatenation, and it avoids Python's builtin
+    ``hash()`` entirely: builtin string hashing is randomised per process
+    (``PYTHONHASHSEED``), and structural hashes key the *disk-persisted*
+    analysis cache, so they must be identical across interpreter runs.
+    """
+    if value is None:
+        out.append(b"N")
+    elif value is True:
+        out.append(b"B1")
+    elif value is False:
+        out.append(b"B0")
+    elif isinstance(value, int):
+        token = str(value).encode()
+        out.append(b"I%d:" % len(token))
+        out.append(token)
+    elif isinstance(value, float):
+        out.append(b"F")
+        out.append(_struct.pack("<d", value))
+    elif isinstance(value, str):
+        token = value.encode()
+        out.append(b"S%d:" % len(token))
+        out.append(token)
+    elif isinstance(value, Type):
+        token = repr(value).encode()
+        out.append(b"Y%d:" % len(token))
+        out.append(token)
+    elif isinstance(value, (tuple, list)):
+        out.append(b"T%d:" % len(value))
+        for item in value:
+            _stable_encode(item, out)
+    else:  # pragma: no cover - defensive
+        raise IRError(f"cannot canonically encode {type(value).__name__} for hashing")
+
+
+def _stable_hash(parts: Sequence) -> int:
+    pieces: list = []
+    _stable_encode(tuple(parts), pieces)
+    digest = _hashlib.blake2b(b"".join(pieces), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+_NONE_HASH: Optional[int] = None
+
+
+def _none_hash() -> int:
+    global _NONE_HASH
+    if _NONE_HASH is None:
+        _NONE_HASH = _stable_hash(("none",))
+    return _NONE_HASH
+
+
 def structural_hash(node: Optional[Node]) -> int:
     """Compute the structural fingerprint of ``node`` (see ``Node.structural_hash``).
 
@@ -766,17 +823,21 @@ def structural_hash(node: Optional[Node]) -> int:
     trees built with the same symbol names hash equal even when the symbol
     objects differ.  ``None`` children (e.g. an unused MultiFold combiner)
     hash to a distinguished value.
+
+    The hash is deterministic across processes (blake2b over a canonical
+    encoding, never builtin ``hash``): it keys entries in the disk-persisted
+    analysis cache, which must survive interpreter restarts.
     """
     if node is None:
-        return hash(("none",))
+        return _none_hash()
     cached = node._shash
     if cached is not None:
         return cached
 
     if isinstance(node, Sym):
-        value = hash(("sym", node.name, node.ty))
+        value = _stable_hash(("sym", node.name, node.ty))
     elif isinstance(node, Const):
-        value = hash(("const", type(node.value).__name__, node.value, node.ty))
+        value = _stable_hash(("const", type(node.value).__name__, node.value, node.ty))
     else:
         parts: list[object] = [type(node).__name__]
         if isinstance(node, Expr):
@@ -786,12 +847,12 @@ def structural_hash(node: Optional[Node]) -> int:
         for name in node._fields:
             field = getattr(node, name)
             if field is None:
-                parts.append(hash(("none",)))
+                parts.append(_none_hash())
             elif isinstance(field, Node):
                 parts.append(structural_hash(field))
             else:  # tuple of nodes
                 parts.append(tuple(structural_hash(v) for v in field))
-        value = hash(tuple(parts))
+        value = _stable_hash(parts)
 
     node._shash = value
     return value

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import itertools
 from collections import defaultdict
+from contextlib import contextmanager
 
 
 class NameGenerator:
@@ -46,3 +47,46 @@ def fresh_name(prefix: str) -> str:
 def reset_names() -> None:
     """Reset the global name generator (used by tests for determinism)."""
     _GLOBAL_NAMES.reset()
+
+
+class _MirroredNameGenerator(NameGenerator):
+    """A fresh generator that also advances an outer generator.
+
+    Names minted inside a scope are a pure function of the scope (the
+    private counters start at zero), while every request *also* bumps the
+    outer generator's counter for that prefix.  The outer counter therefore
+    stays at least as far along as any scope ever got — so names minted
+    later from the outer generator (e.g. by the transformation passes, which
+    rely on global uniqueness to avoid capture) can never collide with a
+    scope-minted name living in existing IR.
+    """
+
+    def __init__(self, outer: NameGenerator) -> None:
+        super().__init__()
+        self._outer = outer
+
+    def fresh(self, prefix: str) -> str:
+        self._outer.fresh(prefix)
+        return super().fresh(prefix)
+
+
+@contextmanager
+def fresh_naming_scope():
+    """Deterministic names for the duration of the scope.
+
+    A mirrored generator replaces the global one: the names a code path
+    produces become a pure function of that path — independent of how many
+    programs the process built before — while the global generator is kept
+    in step so later global requests never reuse a scope-minted name.
+    Registered benchmark builders run under this scope: two builds of the
+    same benchmark (in one process or two) produce structurally *and
+    nominally* identical programs, which is what lets structural hashes key
+    the cross-process disk cache.
+    """
+    global _GLOBAL_NAMES
+    previous = _GLOBAL_NAMES
+    _GLOBAL_NAMES = _MirroredNameGenerator(previous)
+    try:
+        yield
+    finally:
+        _GLOBAL_NAMES = previous

@@ -61,7 +61,7 @@ class TestAnalysisCache:
             value = cache.memoize("t", "key", lambda: calls.append(1) or 42)
         assert value == 42
         assert len(calls) == 1
-        assert cache.stats()["t"] == {"entries": 1, "hits": 2, "misses": 1}
+        assert cache.stats()["t"] == {"entries": 1, "hits": 2, "misses": 1, "evictions": 0}
 
     def test_disabled_context_recomputes(self):
         cache = AnalysisCache()
@@ -94,6 +94,164 @@ class TestAnalysisCache:
         assert config_signature(base) == config_signature(meta) == config_signature(par)
         other = CompileConfig(tiling=True, tile_sizes={"n": 128})
         assert config_signature(base) != config_signature(other)
+
+
+class TestLRUBounding:
+    def test_memory_stays_bounded_over_a_500_point_sweep(self):
+        """A 500-point sweep through a bounded cache keeps at most maxsize
+        entries per table while still returning every result."""
+        cache = AnalysisCache(maxsize=64)
+        for i in range(500):
+            value = cache.memoize("point_results", ("point", i), lambda i=i: i * 2)
+            assert value == i * 2
+            assert cache.size("point_results") <= 64
+        assert cache.size("point_results") == 64
+        assert cache.evictions["point_results"] == 500 - 64
+        # The most recent entries survive, the oldest were evicted.
+        assert cache.get("point_results", ("point", 499)) == 998
+        assert cache.get("point_results", ("point", 0)) is None
+
+    def test_hits_refresh_recency(self):
+        cache = AnalysisCache(maxsize=2)
+        cache.memoize("t", "a", lambda: 1)
+        cache.memoize("t", "b", lambda: 2)
+        cache.memoize("t", "a", lambda: 1)  # refresh "a"
+        cache.memoize("t", "c", lambda: 3)  # evicts "b", not "a"
+        assert cache.get("t", "a") == 1
+        assert cache.get("t", "b") is None
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = AnalysisCache(maxsize=None)
+        for i in range(200):
+            cache.put("t", i, i)
+        assert cache.size("t") == 200
+        assert cache.evictions["t"] == 0
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            AnalysisCache(maxsize=0)
+
+    def test_global_cache_is_bounded(self):
+        from repro.dse.cache import DEFAULT_TABLE_MAXSIZE
+
+        assert ANALYSIS_CACHE.maxsize == DEFAULT_TABLE_MAXSIZE
+
+
+class TestDiskPersistence:
+    def test_round_trip(self, tmp_path):
+        store = tmp_path / "analysis.pkl"
+        cache = AnalysisCache()
+        cache.put("t", ("k", 1), "value")
+        cache.put("u", ("k", 2), (1, 2.5))
+        assert cache.save_disk(store)
+        fresh = AnalysisCache()
+        assert fresh.load_disk(store) == 2
+        assert fresh.get("t", ("k", 1)) == "value"
+        assert fresh.get("u", ("k", 2)) == (1, 2.5)
+
+    def test_version_mismatch_invalidates(self, tmp_path):
+        import pickle
+
+        store = tmp_path / "analysis.pkl"
+        store.write_bytes(
+            pickle.dumps({"version": -1, "tables": {"t": [("k", "stale")]}})
+        )
+        cache = AnalysisCache()
+        assert cache.load_disk(store) == 0
+        assert cache.get("t", "k") is None
+
+    def test_corrupt_store_is_ignored(self, tmp_path):
+        store = tmp_path / "analysis.pkl"
+        store.write_bytes(b"not a pickle")
+        assert AnalysisCache().load_disk(store) == 0
+
+    def test_missing_store_is_ignored(self, tmp_path):
+        assert AnalysisCache().load_disk(tmp_path / "absent.pkl") == 0
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = tmp_path / "analysis.pkl"
+        cache = AnalysisCache()
+        cache.put("t", "k", "v")
+        cache.save_disk(store)
+        assert [p.name for p in tmp_path.iterdir()] == ["analysis.pkl"]
+
+    def test_unpicklable_entries_are_skipped(self, tmp_path):
+        store = tmp_path / "analysis.pkl"
+        cache = AnalysisCache()
+        cache.put("t", "good", 42)
+        cache.put("t", "bad", lambda: None)  # unpicklable value
+        assert cache.save_disk(store)
+        fresh = AnalysisCache()
+        assert fresh.load_disk(store) == 1
+        assert fresh.get("t", "good") == 42
+
+    def test_dirty_tracking_skips_redundant_saves(self, tmp_path):
+        store = tmp_path / "analysis.pkl"
+        cache = AnalysisCache()
+        cache.put("t", "k", "v")
+        assert cache.dirty
+        assert cache.save_disk(store, only_if_dirty=True)
+        assert not cache.dirty
+        # A pure-hit workload stays clean: no rewrite.
+        cache.memoize("t", "k", lambda: "v")
+        assert not cache.save_disk(store, only_if_dirty=True)
+        cache.put("t", "k2", "v2")
+        assert cache.save_disk(store, only_if_dirty=True)
+
+    def test_load_respects_lru_bound(self, tmp_path):
+        store = tmp_path / "analysis.pkl"
+        big = AnalysisCache()
+        for i in range(100):
+            big.put("t", i, i)
+        big.save_disk(store)
+        small = AnalysisCache(maxsize=10)
+        small.load_disk(store)
+        assert small.size("t") == 10
+        # Entries persisted in LRU order: the most recent survive the reload.
+        assert small.get("t", 99) == 99
+
+    def test_structural_hash_stable_across_processes(self):
+        """Disk keys embed structural hashes, so the hash of the same program
+        must be identical in a fresh interpreter (PYTHONHASHSEED differs)."""
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.apps import get_benchmark;"
+            "print(get_benchmark('gemm').build().body.structural_hash())"
+        )
+        runs = {
+            subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+                check=True,
+            ).stdout.strip()
+            for seed in ("1", "2")
+        }
+        assert len(runs) == 1
+
+    def test_point_results_survive_disk_round_trip(self, tmp_path):
+        """An explore() with disk_cache persists whole point evaluations;
+        a cleared cache reloading the store serves them as pure hits."""
+        from repro.dse.engine import explore
+        from repro.dse.space import DesignPoint, DesignSpace
+
+        store = tmp_path / "analysis.pkl"
+        sizes = {"m": 256, "n": 256, "p": 256}
+        space = DesignSpace()
+        space.add(DesignPoint.make({"m": 64, "n": 64, "p": 64}, par=16))
+        space.add(DesignPoint.make({"m": 64, "n": 64, "p": 128}, par=16))
+        cold = explore("gemm", sizes=sizes, space=space, disk_cache=store)
+        assert store.exists()
+
+        ANALYSIS_CACHE.clear()
+        warm = explore("gemm", sizes=sizes, space=space, disk_cache=store)
+        stats = warm.cache_stats["point_results"]
+        assert stats["hits"] == len(space) and stats["misses"] == 0
+        for a, b in zip(cold.evaluated, warm.evaluated):
+            assert a.point == b.point and a.cycles == b.cycles and a.logic == b.logic
 
 
 class TestMemoizedAnalysesMatchUncached:

@@ -40,6 +40,62 @@ class TestFigure7Harness:
     def test_paper_reference_values_present(self):
         assert set(PAPER_FIGURE7) == {"outerprod", "sumrows", "gemm", "tpchq6", "gda", "kmeans"}
 
+    def test_dse_strategy_flag_attaches_best_point(self):
+        report = run_figure7(
+            benchmarks=["gemm", "sumrows"],
+            sizes_override=SMALL_SIZES,
+            dse_strategy="hill-climb",
+            dse_eval_fraction=0.25,
+        )
+        for result in report.results:
+            assert result.dse_strategy == "hill-climb"
+            assert result.dse_best is not None
+            assert result.dse_evaluations > 0
+            assert result.speedup_dse is not None and result.speedup_dse > 0
+            assert "dse-best" in result.speedups()
+        assert "dse-best" in report.speedup_table()
+
+    def test_dse_shared_pool_matches_per_benchmark_exploration(self):
+        shared = run_figure7(
+            benchmarks=["gemm", "sumrows"],
+            sizes_override=SMALL_SIZES,
+            dse_strategy="exhaustive",
+            dse_eval_fraction=None,
+            dse_shared_pool=True,
+        )
+        separate = run_figure7(
+            benchmarks=["gemm", "sumrows"],
+            sizes_override=SMALL_SIZES,
+            dse_strategy="exhaustive",
+            dse_eval_fraction=None,
+            dse_shared_pool=False,
+        )
+        for name in ("gemm", "sumrows"):
+            a, b = shared.result(name), separate.result(name)
+            assert a.dse_best.point == b.dse_best.point
+            assert a.dse_best.cycles == b.dse_best.cycles
+
+    def test_without_dse_flag_table_has_no_dse_column(self):
+        report = run_figure7(benchmarks=["gemm"], sizes_override=SMALL_SIZES)
+        assert report.results[0].dse_best is None
+        assert "dse-best" not in report.speedup_table()
+
+    def test_exhaustive_strategy_ignores_default_eval_fraction(self):
+        """The default dse_eval_fraction must not truncate an exhaustive
+        sweep to an enumeration-order prefix."""
+        defaulted = run_figure7(
+            benchmarks=["gemm"], sizes_override=SMALL_SIZES, dse_strategy="exhaustive"
+        )
+        unbounded = run_figure7(
+            benchmarks=["gemm"],
+            sizes_override=SMALL_SIZES,
+            dse_strategy="exhaustive",
+            dse_eval_fraction=None,
+        )
+        a, b = defaulted.result("gemm"), unbounded.result("gemm")
+        assert a.dse_evaluations == b.dse_evaluations
+        assert a.dse_best.point == b.dse_best.point
+
 
 class TestFigure5cHarness:
     def test_default_sizes_match_paper_formulas(self):

@@ -1,0 +1,316 @@
+"""Vectorized-interpreter fallback triggers and FlatMap-filter vectorization.
+
+The fast path must either produce bit-for-bit identical results or fall
+back to the reference evaluator.  The parametrized cases below enumerate
+the known hazard triggers — NaN under min/max, narrow dtypes, integer
+overflow, out-of-bounds reads guarded by ``Select``, zero divisors in
+untaken branches — and every case asserts exact equivalence.  The second
+half covers the FlatMap-filter fast path introduced alongside them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ppl import builder as b
+from repro.ppl.interp import Interpreter, run_program
+from repro.ppl.ir import ArrayLit, BinOp, Cmp, Const, EmptyArray, Select, UnaryOp
+from repro.ppl.program import Program
+
+from tests.ppl.test_vectorized_interp import assert_bit_identical
+
+
+def _map1(body_builder, values, name="case"):
+    msym = b.size_sym("m")
+    x = b.array_sym("x", 1)
+    body = b.pmap(b.domain(msym), lambda i: body_builder(x, i))
+    program = Program(name=name, inputs=[x], sizes=[msym], body=body)
+    return program, {"m": len(values), "x": np.asarray(values)}
+
+
+def _fold1(op, values, init, name="fold"):
+    msym = b.size_sym("m")
+    x = b.array_sym("x", 1)
+    body = b.fold(
+        b.domain(msym), init, lambda i, acc: BinOp(op, acc, b.apply_array(x, i))
+    )
+    program = Program(name=name, inputs=[x], sizes=[msym], body=body)
+    return program, {"m": len(values), "x": np.asarray(values)}
+
+
+NAN = float("nan")
+
+FALLBACK_CASES = {
+    # -- NaN under min/max: Python's min/max keep an operand, numpy's
+    #    minimum/maximum propagate — the fast path must not diverge.
+    "nan-min-fold": lambda: _fold1("min", [3.0, NAN, 1.0, 2.0], b.flt(float("inf"))),
+    "nan-max-fold": lambda: _fold1("max", [NAN, 4.0, 2.0], b.flt(float("-inf"))),
+    "nan-first-min-fold": lambda: _fold1("min", [NAN, 5.0, 7.0], b.flt(float("inf"))),
+    "nan-init-max-fold": lambda: _fold1("max", [1.0, 2.0], b.flt(NAN)),
+    "nan-elementwise-min": lambda: _map1(
+        lambda x, i: b.minimum(b.apply_array(x, i), 2.0), [1.0, NAN, 5.0]
+    ),
+    "nan-elementwise-max": lambda: _map1(
+        lambda x, i: b.maximum(b.apply_array(x, i), 2.0), [NAN, 1.0, 5.0]
+    ),
+    # -- Narrow dtypes: the reference reads elements via .item() (python
+    #    float/int, i.e. 64-bit) and rounds once on store; the fast path
+    #    must widen instead of rounding every intermediate.
+    "narrow-float32-map": lambda: _map1(
+        lambda x, i: b.add(b.mul(b.apply_array(x, i), b.apply_array(x, i)), b.apply_array(x, i)),
+        np.random.default_rng(0).uniform(1e5, 1e6, 64).astype(np.float32),
+    ),
+    "narrow-int32-map": lambda: _map1(
+        lambda x, i: b.mul(b.apply_array(x, i), b.apply_array(x, i)),
+        np.full(8, 70_000, dtype=np.int32),  # square exceeds int32
+    ),
+    "narrow-float32-sum-fold": lambda: _fold1(
+        "+",
+        np.random.default_rng(1).uniform(0.1, 1.0, 50).astype(np.float32),
+        b.flt(0.0),
+    ),
+    # -- Integer overflow: int64 accumulates wrap where Python ints do not.
+    "big-int-product-fold": lambda: _fold1(
+        "*", np.full(5, 2**13, dtype=np.int64), b.idx(1)
+    ),
+    "big-int-sum-fold": lambda: _fold1(
+        "+", np.full(4, 2**61, dtype=np.int64), b.idx(0)
+    ),
+    # -- Division hazards in untaken positions.
+    "zero-divisor-guarded-map": lambda: _map1(
+        lambda x, i: Select(
+            Cmp("!=", b.apply_array(x, i), Const(0.0)),
+            b.div(b.flt(1.0), b.apply_array(x, i)),
+            b.flt(0.0),
+        ),
+        [2.0, 0.0, 4.0],
+    ),
+    # -- Negative sqrt in untaken positions.
+    "negative-sqrt-guarded-map": lambda: _map1(
+        lambda x, i: Select(
+            Cmp(">=", b.apply_array(x, i), Const(0.0)),
+            UnaryOp("sqrt", b.apply_array(x, i)),
+            b.flt(0.0),
+        ),
+        [4.0, -1.0, 9.0],
+    ),
+}
+
+
+def _oob_guarded_program():
+    # Out-of-bounds guarded reads: legal in the reference (the untaken
+    # branch never executes), fatal to speculation — must fall back.
+    msym = b.size_sym("m")
+    x = b.array_sym("x", 1)
+    body = b.pmap(
+        b.domain(msym),
+        lambda i: Select(
+            Cmp("<", b.add(i, 1), msym),
+            b.apply_array(x, b.add(i, 1)),
+            b.flt(0.0),
+        ),
+    )
+    program = Program(name="oob", inputs=[x], sizes=[msym], body=body)
+    return program, {"m": 6, "x": np.arange(6.0)}
+
+
+FALLBACK_CASES["oob-guarded-map"] = _oob_guarded_program
+
+
+@pytest.mark.parametrize("case", sorted(FALLBACK_CASES))
+def test_fallback_trigger_bit_identical(case):
+    program, bindings = FALLBACK_CASES[case]()
+    try:
+        reference = run_program(program, bindings, vectorize=False)
+    except (OverflowError, ZeroDivisionError, ValueError) as exc:
+        with pytest.raises(type(exc)):
+            run_program(program, bindings, vectorize=True)
+        return
+    fast = run_program(program, bindings, vectorize=True)
+    if isinstance(reference, int) and not isinstance(reference, bool):
+        # Python bigints (e.g. a product beyond int64) compare directly —
+        # numpy cannot represent them without an object round-trip.
+        assert type(fast) is type(reference) and fast == reference
+        return
+    assert_bit_identical(reference, fast)
+
+
+# ---------------------------------------------------------------------------
+# FlatMap-filter vectorization
+# ---------------------------------------------------------------------------
+
+
+def _filter_program(values, *, negate=False, elements=1, strides=None):
+    msym = b.size_sym("m")
+    x = b.array_sym("x", 1)
+
+    def body(i):
+        kept = ArrayLit(
+            tuple(b.mul(b.apply_array(x, i), b.flt(float(k + 1))) for k in range(elements))
+        )
+        pred = Cmp(">", b.apply_array(x, i), Const(0.0))
+        if negate:
+            return Select(pred, EmptyArray(), kept)
+        return Select(pred, kept, EmptyArray())
+
+    domain = b.domain(msym, strides=strides) if strides else b.domain(msym)
+    program = Program(
+        name="filter",
+        inputs=[x],
+        sizes=[msym],
+        body=b.flat_map(domain, body),
+    )
+    return program, {"m": len(values), "x": np.asarray(values)}
+
+
+class TestFlatMapVectorization:
+    def _assert_matches(self, program, bindings):
+        reference = run_program(program, bindings, vectorize=False)
+        fast = run_program(program, bindings, vectorize=True)
+        assert_bit_identical(reference, fast)
+        return fast
+
+    def test_filter_keep_branch(self):
+        program, bindings = _filter_program([1.0, -2.0, 3.0, -4.0, 5.0])
+        out = self._assert_matches(program, bindings)
+        np.testing.assert_array_equal(out, [1.0, 3.0, 5.0])
+
+    def test_filter_negated_branch_order(self):
+        program, bindings = _filter_program([1.0, -2.0, 3.0, -4.0], negate=True)
+        out = self._assert_matches(program, bindings)
+        np.testing.assert_array_equal(out, [-2.0, -4.0])
+
+    def test_filter_multiple_elements_per_match(self):
+        program, bindings = _filter_program([2.0, -1.0, 3.0], elements=2)
+        out = self._assert_matches(program, bindings)
+        np.testing.assert_array_equal(out, [2.0, 4.0, 3.0, 6.0])
+
+    def test_filter_nothing_survives(self):
+        program, bindings = _filter_program([-1.0, -2.0])
+        out = self._assert_matches(program, bindings)
+        assert out.shape == (0,) and out.dtype == np.float64
+
+    def test_filter_everything_survives(self):
+        program, bindings = _filter_program([1.0, 2.0, 3.0])
+        self._assert_matches(program, bindings)
+
+    def test_empty_domain(self):
+        program, bindings = _filter_program([])
+        out = self._assert_matches(program, bindings)
+        assert out.shape == (0,)
+
+    def test_strided_domain(self):
+        program, bindings = _filter_program([1.0, -2.0, 3.0, -4.0, 5.0, 6.0], strides=[2])
+        out = self._assert_matches(program, bindings)
+        np.testing.assert_array_equal(out, [1.0, 3.0, 5.0])
+
+    def test_unconditional_array_lit_body(self):
+        msym = b.size_sym("m")
+        x = b.array_sym("x", 1)
+        program = Program(
+            name="expand",
+            inputs=[x],
+            sizes=[msym],
+            body=b.flat_map(
+                b.domain(msym),
+                lambda i: ArrayLit(
+                    (b.apply_array(x, i), UnaryOp("neg", b.apply_array(x, i)))
+                ),
+            ),
+        )
+        bindings = {"m": 3, "x": np.array([1.0, 2.0, 3.0])}
+        out = self._assert_matches(program, bindings)
+        np.testing.assert_array_equal(out, [1.0, -1.0, 2.0, -2.0, 3.0, -3.0])
+
+    def test_integer_filter_preserves_dtype(self):
+        msym = b.size_sym("m")
+        x = b.array_sym("x", 1)
+        program = Program(
+            name="ints",
+            inputs=[x],
+            sizes=[msym],
+            body=b.flat_map(
+                b.domain(msym),
+                lambda i: Select(
+                    Cmp(">", b.apply_array(x, i), Const(0)),
+                    ArrayLit((b.mul(b.apply_array(x, i), b.idx(2)),)),
+                    EmptyArray(),
+                ),
+            ),
+        )
+        bindings = {"m": 4, "x": np.array([1, -2, 3, -4], dtype=np.int64)}
+        out = self._assert_matches(program, bindings)
+        assert out.dtype == np.int64
+        np.testing.assert_array_equal(out, [2, 6])
+
+    def test_oob_read_in_filtered_branch_falls_back(self):
+        """A filter whose kept value reads x[i+1] — out of bounds in the last
+        (filtered-out) position — must fall back and still match."""
+        msym = b.size_sym("m")
+        x = b.array_sym("x", 1)
+        program = Program(
+            name="oobfilter",
+            inputs=[x],
+            sizes=[msym],
+            body=b.flat_map(
+                b.domain(msym),
+                lambda i: Select(
+                    Cmp("<", b.add(i, 1), msym),
+                    ArrayLit((b.apply_array(x, b.add(i, 1)),)),
+                    EmptyArray(),
+                ),
+            ),
+        )
+        bindings = {"m": 4, "x": np.arange(4.0)}
+        self._assert_matches(program, bindings)
+
+    def test_tuple_valued_filter_stays_on_reference_path(self):
+        """Tuple elements are outside the fast path's fragment: the
+        vectorizer must decline (returns None) and the reference result
+        stands."""
+        from repro.ppl.ir import MakeTuple
+
+        msym = b.size_sym("m")
+        x = b.array_sym("x", 1)
+        program = Program(
+            name="tuples",
+            inputs=[x],
+            sizes=[msym],
+            body=b.flat_map(
+                b.domain(msym),
+                lambda i: Select(
+                    Cmp(">", b.apply_array(x, i), Const(0.0)),
+                    ArrayLit((MakeTuple((i, b.apply_array(x, i))),)),
+                    EmptyArray(),
+                ),
+            ),
+        )
+        bindings = {"m": 3, "x": np.array([1.0, -1.0, 2.0])}
+        interp = Interpreter(vectorize=True)
+        env = program.bind(bindings)
+        assert interp._vector_flatmap(program.body, dict(env)) is None
+        self._assert_matches(program, bindings)
+
+    def test_tpchq6_flatmap_variant_bit_identical(self):
+        from repro.apps.tpchq6 import _generate, build_tpchq6_flatmap
+
+        program = build_tpchq6_flatmap()
+        rng = np.random.default_rng(11)
+        bindings = {"n": 4096}
+        bindings.update(_generate({"n": 4096}, rng))
+        self._assert_matches(program, bindings)
+
+    def test_flatmap_fast_path_is_taken(self):
+        """The filter case must actually vectorize (not silently fall back)."""
+        program, bindings = _filter_program([1.0, -2.0, 3.0])
+        interp = Interpreter(vectorize=True)
+        env = program.bind(bindings)
+        result = interp._vector_flatmap(program.body, dict(env))
+        assert result is not None
+        np.testing.assert_array_equal(result, [1.0, 3.0])
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_property_random_filters_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=rng.integers(0, 64))
+        program, bindings = _filter_program(values.tolist(), elements=int(rng.integers(1, 3)))
+        self._assert_matches(program, bindings)
