@@ -17,6 +17,12 @@ space, all appended as one record to ``BENCH_dse.json``:
    full compute + save) and again from the store alone (warm: pure
    point-result hits).  Asserts the warm rerun is ≥ 3× faster.
 
+4. **Pipeline** — per-pass instrumentation through a
+   :class:`~repro.pipeline.session.CompilerSession` (wall-clock, cache
+   hits, IR node deltas for every pass of the Figure 1 flow) and a sweep
+   over pass-pipeline *variants* (``default`` / ``no-fusion`` /
+   ``late-cleanup``) as an extra design-space axis.
+
 The run finally refreshes the repo-level ``.dse-cache/`` store that CI
 persists between workflow runs (keyed on the cache version).
 
@@ -31,6 +37,8 @@ import sys
 import tempfile
 import time
 from pathlib import Path
+
+import numpy as np
 
 from repro.dse.cache import ANALYSIS_CACHE, CACHE_VERSION
 from repro.dse.engine import explore
@@ -237,6 +245,61 @@ def run_disk_phase(space) -> dict:
     }
 
 
+def run_pipeline_phase() -> dict:
+    """Per-pass instrumentation and the pipeline-variant design-space axis."""
+    from repro.apps import get_benchmark
+    from repro.config import CompileConfig
+    from repro.pipeline import Session
+
+    bench = get_benchmark(BENCHMARK)
+    config = CompileConfig(tiling=True, metapipelining=True, tile_sizes=dict(bench.tile_sizes))
+    bindings = bench.bindings(SIZES, np.random.default_rng(3))
+
+    ANALYSIS_CACHE.clear()
+    session = Session()
+    cold = session.compile(bench.build(), config, bindings)
+    warm = session.compile(bench.build(), config, bindings)
+    print(f"[DSE pipeline] cold compile through session:\n{cold.report.table()}")
+    print(
+        f"[DSE pipeline] warm recompile: {warm.report.cache_hits}/"
+        f"{warm.report.passes_run} passes served from cache "
+        f"({warm.report.total_seconds * 1e3:.2f} ms vs "
+        f"{cold.report.total_seconds * 1e3:.2f} ms cold)"
+    )
+    assert warm.report.cache_hits >= 6, "warm recompile should hit the pass memo"
+
+    # The pipeline variant as a search gene: sweep orderings × tiles × meta.
+    variants = ("default", "no-fusion", "late-cleanup")
+    space = default_space(
+        {name: SIZES[name] for name in ("m", "n", "p")},
+        pars=(16,),
+        max_tiles_per_dim=2,
+        pipelines=variants,
+    )
+    ANALYSIS_CACHE.clear()
+    swept = explore(BENCHMARK, sizes=SIZES, space=space)
+    by_variant = {}
+    for variant in variants:
+        candidates = [r for r in swept.evaluated if r.point.pipeline == variant]
+        best = min(candidates, key=lambda r: r.cycles) if candidates else None
+        if best is not None:
+            by_variant[variant] = {"best_label": best.label, "cycles": best.cycles}
+            print(
+                f"[DSE pipeline] variant {variant:<12} best {best.label:<44} "
+                f"{best.cycles:>12.0f} cycles"
+            )
+    assert len(by_variant) == len(variants), "every pipeline variant must be evaluated"
+
+    return {
+        "cold_ms": round(cold.report.total_seconds * 1e3, 3),
+        "warm_ms": round(warm.report.total_seconds * 1e3, 3),
+        "warm_cache_hits": warm.report.cache_hits,
+        "passes": cold.report.as_dict()["passes"],
+        "variant_sweep_points": len(swept.evaluated),
+        "variants": by_variant,
+    }
+
+
 def refresh_ci_store(space) -> None:
     """Keep the repo-level store CI persists between runs up to date."""
     existed = CI_STORE.exists()
@@ -255,12 +318,14 @@ def run() -> dict:
     search = run_search_phase(space, exhaustive)
     disk_space = _disk_space()
     disk = run_disk_phase(disk_space)
+    pipeline = run_pipeline_phase()
     refresh_ci_store(disk_space)
 
     record = {"benchmark": BENCHMARK, "sizes": SIZES, "points": len(space)}
     record.update(engine)
     record["search"] = search
     record["disk"] = disk
+    record["pipeline"] = pipeline
     return record
 
 

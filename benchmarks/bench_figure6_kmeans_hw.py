@@ -7,10 +7,12 @@ import pytest
 
 from repro.apps import get_benchmark
 from repro.codegen import design_report, generate_maxj
-from repro.compiler import compile_program
 from repro.config import CompileConfig
 from repro.hw.controllers import MetapipelineController, SequentialController
 from repro.hw.templates import Buffer, TileLoad, TileStore
+from repro.pipeline import Session
+
+SESSION = Session()
 
 
 def _compile_kmeans(sizes):
@@ -18,8 +20,7 @@ def _compile_kmeans(sizes):
     config = CompileConfig(
         tiling=True, metapipelining=True, tile_sizes=dict(bench.tile_sizes)
     )
-    bindings = bench.bindings(sizes, np.random.default_rng(0))
-    return compile_program(bench.build(), config, bindings)
+    return bench.compile(config, sizes, np.random.default_rng(0), session=SESSION)
 
 
 def test_figure6_kmeans_hardware_structure(benchmark, eval_sizes):

@@ -6,10 +6,12 @@ import numpy as np
 import pytest
 
 from repro.apps import get_benchmark
-from repro.compiler import compile_program
 from repro.config import CompileConfig
 from repro.hw.controllers import MetapipelineController
 from repro.hw.templates import Buffer, ReductionTree, TileLoad, TileStore, VectorUnit
+from repro.pipeline import Session
+
+SESSION = Session()
 
 
 def _compile(name, metapipelining, sizes):
@@ -17,8 +19,7 @@ def _compile(name, metapipelining, sizes):
     config = CompileConfig(
         tiling=True, metapipelining=metapipelining, tile_sizes=dict(bench.tile_sizes)
     )
-    bindings = bench.bindings(sizes, np.random.default_rng(0))
-    return compile_program(bench.build(), config, bindings)
+    return bench.compile(config, sizes, np.random.default_rng(0), session=SESSION)
 
 
 @pytest.mark.parametrize("name", ["outerprod", "sumrows", "gemm", "tpchq6", "gda", "kmeans"])

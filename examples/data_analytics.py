@@ -12,18 +12,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.apps import get_benchmark
-from repro.compiler import compile_program
 from repro.config import BASELINE, CompileConfig
+from repro.pipeline import Session
 from repro.ppl.interp import run_program
 from repro.ppl.printer import pretty
 from repro.sim.metrics import speedup
-from repro.transforms.tiling import TilingDriver
 
 SIZES = {
     "gemm": {"m": 512, "n": 512, "p": 512},
     "gda": {"n": 16384, "d": 32},
     "tpchq6": {"n": 1 << 20},
 }
+
+# One session for the whole tour: the three benchmarks share its caches and
+# its per-pass instrumentation accumulates across them.
+SESSION = Session()
 
 
 def show_benchmark(name: str) -> None:
@@ -39,15 +42,15 @@ def show_benchmark(name: str) -> None:
     print(f"{name}: {bench.description}  (collection ops: {', '.join(bench.collection_ops)})")
     print("=" * 72)
 
-    tiling = TilingDriver(config).run(program)
+    baseline = SESSION.compile(program, BASELINE, bindings)
+    optimised = SESSION.compile(program, config, bindings)
+    tiling = optimised.tiling
     print("\n-- strip-mined IR (excerpt) --")
     print(pretty(tiling.strip_mined.body)[:600])
     if tiling.applied_interchanges:
         print(f"\ninterchange rules applied: {tiling.applied_interchanges}")
 
-    baseline = compile_program(program, BASELINE, bindings)
-    optimised = compile_program(program, config, bindings)
-    base_sim, opt_sim = baseline.simulate(), optimised.simulate()
+    base_sim, opt_sim = SESSION.simulate(baseline), SESSION.simulate(optimised)
 
     print("\n-- hardware templates (optimised design) --")
     for kind, count in optimised.design.template_inventory().items():
@@ -70,6 +73,8 @@ def show_benchmark(name: str) -> None:
 def main() -> None:
     for name in ("gemm", "gda", "tpchq6"):
         show_benchmark(name)
+    print("=" * 72)
+    print(SESSION.pass_summary())
 
 
 if __name__ == "__main__":

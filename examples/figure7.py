@@ -2,6 +2,7 @@
 
 Run with:  python examples/figure7.py            (full paper-scale workloads)
        or  python examples/figure7.py --quick    (smaller workloads, ~30 s)
+       add  --report-passes  to print the per-pass compilation breakdown
 """
 
 from __future__ import annotations
@@ -22,7 +23,15 @@ QUICK_SIZES = {
 
 def main() -> None:
     quick = "--quick" in sys.argv
-    report = run_figure7(sizes_override=QUICK_SIZES if quick else None)
+    report_passes = "--report-passes" in sys.argv
+    report = run_figure7(
+        sizes_override=QUICK_SIZES if quick else None, report_passes=report_passes
+    )
+
+    if report_passes:
+        print("=== per-pass compilation breakdown ===")
+        print(report.pass_table())
+        print()
 
     print("=== Figure 7 (top): speedup over the baseline design ===")
     print(report.speedup_table())

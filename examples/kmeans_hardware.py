@@ -9,9 +9,9 @@ import numpy as np
 
 from repro.apps import get_benchmark
 from repro.codegen import design_report, generate_maxj
-from repro.compiler import compile_program
 from repro.config import CompileConfig
 from repro.evaluation.figure5c import run_figure5c
+from repro.pipeline import Session
 from repro.ppl.interp import run_program
 from repro.ppl.printer import pretty_program
 
@@ -31,19 +31,21 @@ def main() -> None:
     print("matches the paper's formulas:", report.all_match)
 
     # The evaluated hardware (Figure 6): tile the points, preload the
-    # centroids, and schedule the body as a metapipeline.
+    # centroids, and schedule the body as a metapipeline.  All compiles go
+    # through one session, which owns the board, pipeline and caches.
+    session = Session()
     sizes = {"n": 32768, "k": 32, "d": 32}
     bindings = bench.bindings(sizes, np.random.default_rng(1))
     config = CompileConfig(
         tiling=True, metapipelining=True, tile_sizes=dict(bench.tile_sizes)
     )
-    result = compile_program(program, config, bindings)
+    result = session.compile(program, config, bindings)
 
     print("\n=== hardware design (Figure 6) ===")
     print(design_report(result.design))
 
-    print("\n=== generated MaxJ-like HGL (excerpt) ===")
-    print("\n".join(generate_maxj(result.design).splitlines()[:40]))
+    print("\n=== generated MaxJ-like HGL (excerpt, with pass provenance) ===")
+    print("\n".join(generate_maxj(result).splitlines()[:40]))
 
     # The tiled program still computes the right answer.
     small = bench.bindings({"n": 64, "k": 4, "d": 5}, np.random.default_rng(2))

@@ -1,14 +1,20 @@
-"""Quickstart: write a parallel-pattern program, tile it, generate hardware, simulate it.
+"""Quickstart: write a parallel-pattern program, compile it through a session,
+inspect the pass pipeline, simulate the hardware.
 
 Run with:  python examples/quickstart.py
+
+The compiler's entry point is the instrumented session object
+(``repro.pipeline.Session``); the old module-level
+``repro.compiler.compile_program`` still works but is deprecated — see the
+"Architecture" section of the README for the migration note.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.compiler import compile_program
 from repro.config import BASELINE, CompileConfig
+from repro.pipeline import Session
 from repro.ppl import builder as b
 from repro.ppl.interp import run_program
 from repro.ppl.printer import pretty_program
@@ -41,23 +47,41 @@ def main() -> None:
     result = run_program(program, bindings)
     print(f"\ninterpreter result = {result:.4f}   numpy = {float(x @ y):.4f}")
 
-    # 2. Compile three hardware configurations and compare them.
+    # 2. One session owns the board, the pass pipeline and the caches;
+    #    every compilation goes through it.
+    session = Session()
     tiled_config = CompileConfig(tiling=True, tile_sizes={"n": 4096})
     meta_config = CompileConfig(tiling=True, metapipelining=True, tile_sizes={"n": 4096})
 
-    baseline = compile_program(program, BASELINE, bindings)
-    tiled = compile_program(program, tiled_config, bindings)
-    meta = compile_program(program, meta_config, bindings)
+    baseline = session.compile(program, BASELINE, bindings)
+    tiled = session.compile(program, tiled_config, bindings)
+    meta = session.compile(program, meta_config, bindings)
 
-    base_sim = baseline.simulate()
+    base_sim = session.simulate(baseline)
     print("\n=== simulated designs ===")
     for compilation in (baseline, tiled, meta):
-        sim = compilation.simulate()
+        sim = session.simulate(compilation)
         print(
             f"{compilation.config.label:<24} {sim.cycles:>12,.0f} cycles "
             f"({sim.milliseconds:8.3f} ms, {sim.bound}-bound, "
             f"speedup {speedup(base_sim, sim):.2f}x)"
         )
+
+    # 3. The session instruments every pass: wall-clock, cache hits, IR size.
+    print("\n=== pipeline report (last compile) ===")
+    print(session.last_report.table())
+
+    # 4. Pipelines are composable: drop a pass, compare the outcome.
+    no_fusion = session.compile(
+        program,
+        meta_config,
+        bindings,
+        pipeline=session.pipeline.without("fusion").renamed("no-fusion"),
+    )
+    print(
+        f"\nwithout fusion: {session.simulate(no_fusion).cycles:,.0f} cycles "
+        f"(full pipeline: {session.simulate(meta).cycles:,.0f})"
+    )
 
     print("\n=== tiled IR ===")
     print(pretty_program(tiled.tiled_program))

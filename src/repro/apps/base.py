@@ -59,6 +59,35 @@ class Benchmark:
     def evaluation_bindings(self, rng: Optional[np.random.Generator] = None) -> Dict[str, object]:
         return self.bindings(self.default_sizes, rng)
 
+    def compile(
+        self,
+        config,
+        sizes: Optional[Mapping[str, int]] = None,
+        rng: Optional[np.random.Generator] = None,
+        session=None,
+        par: Optional[int] = None,
+    ):
+        """Build this benchmark and compile it through a compiler session.
+
+        ``sizes=None`` compiles the small functional-test workload.  Pass a
+        shared :class:`~repro.pipeline.session.CompilerSession` to reuse its
+        caches and instrumentation across benchmarks; without one, a
+        default session is created (imported lazily — the registry must
+        stay importable without pulling in the whole compiler).
+
+        Build and compile run under one fresh naming scope, so the minted
+        IR names — and hence the structural hashes the caches key on — are
+        a pure function of (benchmark, config), identical in every process.
+        """
+        from repro.utils.naming import fresh_naming_scope
+
+        if session is None:
+            from repro.pipeline.session import CompilerSession
+
+            session = CompilerSession()
+        with fresh_naming_scope():
+            return session.compile(self.build(), config, self.bindings(sizes, rng), par=par)
+
 
 _REGISTRY: Dict[str, Benchmark] = {}
 

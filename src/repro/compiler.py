@@ -1,53 +1,56 @@
-"""End-to-end compiler driver: PPL program → tiled IR → hardware design.
+"""Deprecated module-level compiler entry points (shims over ``repro.pipeline``).
 
-This is the public entry point tying together the two halves of Figure 1:
-the pattern transformations of Section 4 (:mod:`repro.transforms`) and the
-hardware generation of Section 5 (:mod:`repro.hw`).
+The compiler's public API is now the instrumented session object::
 
-Repeated compilations share work through the process-global analysis cache
-(:mod:`repro.dse.cache`): tiling results are memoised on the program's
-structural hash plus the tile-relevant configuration, and the per-node
-analyses on structural hash plus workload.  :func:`compile_point` is the
-design-space-exploration entry: it compiles one
-:class:`~repro.dse.space.DesignPoint` instead of a hand-built config.
+    from repro.pipeline import Session
+
+    session = Session(board=board)
+    result = session.compile(program, config, bindings)
+
+:func:`compile_program` and :func:`compile_point` survive as thin shims so
+existing callers keep working for one release; each emits a
+:class:`DeprecationWarning` once per process and then delegates to a
+:class:`~repro.pipeline.session.CompilerSession`.  New code should create a
+session (and share it across compiles — sessions own the caches, the
+naming scope and the per-pass instrumentation).
+
+:class:`CompilationResult` now lives in :mod:`repro.pipeline.session`; it
+is re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 from typing import Mapping, Optional
 
-from repro.analysis.area import AreaReport, estimate_area
-from repro.config import CompileConfig
-from repro.hw.design import HardwareDesign
-from repro.hw.generation import generate_hardware
-from repro.ppl.program import Program
-from repro.sim.engine import simulate
-from repro.sim.metrics import SimulationResult
-from repro.sim.model import PerformanceModel
 from repro.dse.cache import ANALYSIS_CACHE
+from repro.pipeline.session import CompilationResult, CompilerSession
+from repro.ppl.program import Program
+from repro.config import CompileConfig
 from repro.target.device import Board, DEFAULT_BOARD
-from repro.transforms.tiling import TilingDriver, TilingResult
 
 __all__ = ["CompilationResult", "compile_program", "compile_point", "clear_compilation_caches"]
 
 
-@dataclass
-class CompilationResult:
-    """Everything produced by one compilation: IR stages, design, area, timing."""
+_DEPRECATION_WARNED: set = set()
 
-    program: Program
-    config: CompileConfig
-    tiling: TilingResult
-    design: HardwareDesign
-    area: AreaReport
 
-    @property
-    def tiled_program(self) -> Program:
-        return self.tiling.tiled
+def _warn_deprecated(name: str, replacement: str) -> None:
+    """Warn about a deprecated entry point exactly once per process."""
+    if name in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(name)
+    warnings.warn(
+        f"repro.compiler.{name} is deprecated and will be removed in the next "
+        f"release; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
-    def simulate(self, model: Optional[PerformanceModel] = None) -> SimulationResult:
-        return simulate(self.design, model)
+
+def _reset_deprecation_warnings() -> None:
+    """Re-arm the once-per-process deprecation warnings (test hook)."""
+    _DEPRECATION_WARNED.clear()
 
 
 def compile_program(
@@ -58,23 +61,20 @@ def compile_program(
     par: Optional[int] = None,
     run_fusion: bool = True,
 ) -> CompilationResult:
-    """Compile a PPL program for the given configuration and workload.
+    """Deprecated: use ``repro.pipeline.Session(board=...).compile(...)``.
 
-    ``bindings`` provides the concrete workload (sizes and, optionally, input
-    arrays) used to size buffers, trip counts and DRAM transfers — the analog
-    of generating a bitstream for a known dataset size in the paper's
-    evaluation.
+    ``run_fusion=False`` maps to a pipeline with the fusion pass removed —
+    the session API expresses the same thing as
+    ``session.compile(..., pipeline=session.pipeline.without("fusion"))``.
     """
-    tiling = TilingDriver(config, run_fusion=run_fusion).run(program)
-    design = generate_hardware(tiling.tiled, config, bindings, board=board, par=par)
-    area = estimate_area(design)
-    return CompilationResult(
-        program=program,
-        config=config,
-        tiling=tiling,
-        design=design,
-        area=area,
+    _warn_deprecated("compile_program", "repro.pipeline.Session(...).compile(...)")
+    session = CompilerSession(board=board)
+    pipeline = (
+        session.pipeline
+        if run_fusion
+        else session.pipeline.without("fusion").renamed("no-fusion")
     )
+    return session.compile(program, config, bindings, par=par, pipeline=pipeline)
 
 
 def compile_point(
@@ -83,21 +83,17 @@ def compile_point(
     bindings: Mapping[str, object],
     board: Board = DEFAULT_BOARD,
 ) -> CompilationResult:
-    """Compile one design point (:class:`repro.dse.space.DesignPoint`).
-
-    The point's tile sizes and metapipelining flag become the compile
-    config and its parallelisation factor the innermost ``par``; repeated
-    points sharing tile sizes reuse one tiling result via the analysis
-    cache.
-    """
-    return compile_program(program, point.config(), bindings, board=board, par=point.par)
+    """Deprecated: use ``repro.pipeline.Session(board=...).compile_point(...)``."""
+    _warn_deprecated("compile_point", "repro.pipeline.Session(...).compile_point(...)")
+    return CompilerSession(board=board).compile_point(program, point, bindings)
 
 
 def clear_compilation_caches() -> None:
-    """Drop all memoised tiling results and analysis values.
+    """Drop all memoised compilation state and reset the disk-store dirty state.
 
-    Only needed to release memory after large sweeps or to force a cold
-    compilation — cached entries never go stale (see
-    :mod:`repro.dse.cache` for the invalidation rules).
+    After this, the next compilation is cold — every pipeline pass reruns —
+    and the analysis cache forgets which persisted store it was clean
+    against, so a subsequent ``save_disk(..., only_if_dirty=True)`` writes a
+    fresh store instead of silently skipping.
     """
     ANALYSIS_CACHE.clear()

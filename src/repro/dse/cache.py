@@ -75,7 +75,9 @@ _MISSING = object()
 
 #: Bump whenever the key scheme or cached value layout changes; persisted
 #: stores carrying a different version are ignored on load.
-CACHE_VERSION = 2
+#: v3: point-result keys gained the pipeline-variant signature and tiling
+#: moved to per-pass ``pipeline_pass`` memoisation.
+CACHE_VERSION = 3
 
 #: Default per-table LRU bound of the process-global cache.  Generous enough
 #: that single sweeps never evict, small enough that week-long CI processes
@@ -162,14 +164,25 @@ class AnalysisCache:
 
     # -- management ----------------------------------------------------------
     def clear(self, name: Optional[str] = None) -> None:
-        """Drop one table, or every table plus the hit/miss counters."""
+        """Drop one table, or every table plus the hit/miss counters.
+
+        A full clear also resets the disk-store state: the cache forgets
+        which persisted store it was clean against, so the next
+        ``save_disk(..., only_if_dirty=True)`` writes instead of assuming
+        the old store still mirrors the (now empty) tables — a cleared
+        session therefore recompiles cold even across save/load cycles.
+        A partial clear marks the cache dirty for the same reason.
+        """
         if name is not None:
-            self._tables.pop(name, None)
+            if self._tables.pop(name, None) is not None:
+                self._dirty = True
             return
         self._tables.clear()
         self.hits.clear()
         self.misses.clear()
         self.evictions.clear()
+        self._dirty = False
+        self._clean_path = None
 
     def size(self, name: Optional[str] = None) -> int:
         if name is not None:

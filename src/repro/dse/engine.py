@@ -39,15 +39,18 @@ import numpy as np
 
 from repro.apps import get_benchmark
 from repro.apps.base import Benchmark
-from repro.compiler import CompilationResult, compile_program
 from repro.config import CompileConfig
 from repro.dse.cache import ANALYSIS_CACHE, env_signature
+from repro.dse.results import PointResult
 from repro.dse.space import (
     DesignPoint,
     DesignSpace,
     default_space,
     estimate_point_area,
 )
+from repro.pipeline.pipeline import Pipeline
+from repro.pipeline.session import CompilationResult, CompilerSession
+from repro.pipeline.variants import variant_signature
 from repro.ppl.program import Program
 from repro.sim.metrics import SimulationResult
 from repro.sim.model import PerformanceModel
@@ -73,32 +76,6 @@ class EvaluatedConfig:
     label: str
     compilation: CompilationResult
     simulation: SimulationResult
-
-
-@dataclass
-class PointResult:
-    """Scalar outcome of one design point (cheap to ship across processes)."""
-
-    point: DesignPoint
-    cycles: float = 0.0
-    seconds: float = 0.0
-    logic: float = 0.0
-    ffs: float = 0.0
-    bram_bits: float = 0.0
-    dsps: float = 0.0
-    utilization: Dict[str, float] = field(default_factory=dict)
-    read_bytes: int = 0
-    write_bytes: int = 0
-    pruned: bool = False
-    prune_reason: str = ""
-
-    @property
-    def label(self) -> str:
-        return self.point.label
-
-    @property
-    def max_utilization(self) -> float:
-        return max(self.utilization.values()) if self.utilization else 0.0
 
 
 @dataclass
@@ -179,16 +156,48 @@ def evaluate_config(
     board: Board = DEFAULT_BOARD,
     par: Optional[int] = None,
     model: Optional[PerformanceModel] = None,
+    session: Optional[CompilerSession] = None,
+    pipeline: Union[str, Pipeline, None] = None,
 ) -> EvaluatedConfig:
     """Compile and simulate one configuration, keeping the artifacts.
 
-    This is the engine's serial evaluation path; it shares the
-    process-global analysis cache, so configurations with equal tile sizes
-    reuse one tiling result and the per-node analyses hit warm entries.
+    The compilation runs through a :class:`~repro.pipeline.session.CompilerSession`
+    — pass ``session`` to share one across calls (the Figure 7 harness and
+    the exploration driver do); without one, a throwaway session against
+    ``board``/``model`` is created, which still shares the process-global
+    analysis cache, so configurations with equal tile sizes reuse the
+    memoised pass results and the per-node analyses hit warm entries.
+
+    A supplied session's board is authoritative — naming a *different*
+    ``board`` alongside it would silently compile for the session's board,
+    so that combination is rejected.
     """
-    compilation = compile_program(program, config, bindings, board=board, par=par)
-    simulation = compilation.simulate(model)
+    if session is None:
+        session = CompilerSession(board=board, model=model)
+    elif board is not DEFAULT_BOARD and board != session.board:
+        raise ValueError(
+            f"evaluate_config got board {board.name!r} but a session built for "
+            f"{session.board.name!r}; compiles run on the session's board — "
+            "drop the board argument or build the session for it"
+        )
+    compilation = session.compile(program, config, bindings, par=par, pipeline=pipeline)
+    simulation = session.simulate(compilation, model)
     return EvaluatedConfig(label=config.label, compilation=compilation, simulation=simulation)
+
+
+def _pipeline_signature(session: CompilerSession, gene: str) -> Tuple:
+    """Signature of the pipeline ``session`` runs for a point's pipeline gene.
+
+    ``"default"`` is the session's own pipeline (signature cached on the
+    instance); any other gene resolves through the variant registry, whose
+    memoised :func:`~repro.pipeline.variants.variant_signature` matches what
+    ``session.pipeline_for`` would build — without constructing the
+    pipeline on the warm path.  Raises ``ValueError`` for unknown variants,
+    exactly as the compile itself would.
+    """
+    if gene == "default":
+        return session.pipeline.signature()
+    return variant_signature(gene)
 
 
 def _point_result_key(
@@ -197,14 +206,20 @@ def _point_result_key(
     point: DesignPoint,
     board: Board,
     model: Optional[PerformanceModel],
+    pipeline_signature: Tuple,
 ) -> Optional[Tuple]:
     """Cross-process cache key for one whole point evaluation, or None.
 
     Exploration results are size-driven (array *contents* never reach the
     static analyses or the cycle model), so the workload signature —
     structural hash plus size/shape bindings — plus the point, board and
-    model parameters fully determines the outcome.  Subclassed boards or
-    models fall back to None (no memoisation) rather than risk a stale hit.
+    model parameters fully determines the outcome.  ``pipeline_signature``
+    must be the pass-sequence signature of the pipeline the evaluation
+    *actually compiles through* (the session's resolution of the point's
+    pipeline gene, not the registry's) — keying on anything else would let
+    a session with an overridden pipeline poison the shared table.
+    Subclassed boards or models fall back to None (no memoisation) rather
+    than risk a stale hit.
     """
     if type(board) is not Board or (model is not None and type(model) is not PerformanceModel):
         return None
@@ -218,6 +233,7 @@ def _point_result_key(
         point.tile_sizes,
         point.par,
         point.metapipelining,
+        pipeline_signature,
         astuple(board),
         astuple(model) if model is not None else (),
     )
@@ -229,18 +245,39 @@ def evaluate_point(
     point: DesignPoint,
     board: Board = DEFAULT_BOARD,
     model: Optional[PerformanceModel] = None,
+    session: Optional[CompilerSession] = None,
 ) -> PointResult:
     """Evaluate one design point to its scalar (cycles, area) outcome.
 
     Whole evaluations are memoised in the analysis cache (``point_results``
     table) under a process-stable key, so re-sweeps in one process — and,
     through the disk-persisted store, across processes — skip compilation
-    and simulation entirely.
+    and simulation entirely.  When a ``session`` is supplied, its board,
+    model and pipeline resolution are authoritative (for the key as much
+    as for the compile — they must never diverge).
     """
+    if session is None:
+        session = CompilerSession(board=board, model=model)
+    else:
+        board = session.board
+        model = model if model is not None else session.model
+    # The signature of the pipeline the compile will actually run (raises
+    # for an unregistered variant name) keys the memoised result.  The
+    # session resolves string genes through the registry, so the memoised
+    # registry signature matches — and the variant pipeline itself is only
+    # constructed on a cache miss, inside the compile.
+    pipeline_signature = _pipeline_signature(session, point.pipeline)
 
     def compute() -> PointResult:
         evaluated = evaluate_config(
-            program, point.config(), bindings, board=board, par=point.par, model=model
+            program,
+            point.config(),
+            bindings,
+            board=board,
+            par=point.par,
+            model=model,
+            session=session,
+            pipeline=point.pipeline,
         )
         area = evaluated.compilation.area
         design = evaluated.compilation.design
@@ -264,7 +301,7 @@ def evaluate_point(
 
     if not ANALYSIS_CACHE.enabled:
         return compute()
-    key = _point_result_key(program, bindings, point, board, model)
+    key = _point_result_key(program, bindings, point, board, model, pipeline_signature)
     if key is None:
         return compute()
     cached = ANALYSIS_CACHE.memoize("point_results", key, compute)
@@ -280,18 +317,27 @@ def _seed_point_results(
     model: Optional[PerformanceModel],
     points: Sequence[DesignPoint],
     results: Sequence[PointResult],
+    session: Optional[CompilerSession] = None,
 ) -> None:
     """Insert pool-computed evaluations into this process's cache.
 
     Forked workers memoise in their own copies of the cache; without this,
     a parallel sweep would leave the parent's ``point_results`` table empty
     and the disk store (plus later serial reruns) would gain nothing from
-    the run.
+    the run.  ``session`` must resolve pipelines the same way the workers'
+    sessions did (workers build plain default-pipeline sessions, so any
+    default session over the same board/model matches).
     """
     if not ANALYSIS_CACHE.enabled:
         return
+    if session is None:
+        session = CompilerSession(board=board, model=model)
     for point, result in zip(points, results):
-        key = _point_result_key(program, bindings, point, board, model)
+        try:
+            signature = _pipeline_signature(session, point.pipeline)
+        except ValueError:
+            continue  # unregistered variant: never memoise
+        key = _point_result_key(program, bindings, point, board, model, signature)
         if key is not None:
             ANALYSIS_CACHE.put("point_results", key, result)
 
@@ -329,6 +375,11 @@ def _init_worker(
     _WORKER_STATE["board"] = board
     _WORKER_STATE["model"] = model
     _WORKER_STATE["programs"] = {}
+    # One session per worker: forked workers inherit the parent's warm
+    # analysis cache copy-on-write, and the session gives every evaluation
+    # in this process the same pipeline/naming-scope ownership as the
+    # serial path.
+    _WORKER_STATE["session"] = CompilerSession(board=board, model=model)
     if not memoize:
         ANALYSIS_CACHE.clear()
         ANALYSIS_CACHE.enabled = False
@@ -351,6 +402,7 @@ def _evaluate_point_task(task: Tuple[str, DesignPoint]) -> PointResult:
         point,
         board=_WORKER_STATE["board"],
         model=_WORKER_STATE["model"],
+        session=_WORKER_STATE["session"],
     )
 
 
@@ -455,6 +507,7 @@ def explore(
     from repro.analysis.estimate import input_shapes
 
     shapes = input_shapes(program, bindings)
+    session = CompilerSession(board=board, model=model)
     started = time.perf_counter()
 
     survivors, pruned_results = _prune_space(space, shapes, sizes, board, budget, prune)
@@ -483,7 +536,9 @@ def explore(
     def _run_serial() -> List[PointResult]:
         return _search(
             lambda points: [
-                evaluate_point(program, bindings, point, board=board, model=model)
+                evaluate_point(
+                    program, bindings, point, board=board, model=model, session=session
+                )
                 for point in points
             ]
         )
@@ -496,7 +551,9 @@ def explore(
                 _evaluate_point_task, [(benchmark.name, p) for p in points]
             )
             if memoize:
-                _seed_point_results(program, bindings, board, model, points, results)
+                _seed_point_results(
+                    program, bindings, board, model, points, results, session=session
+                )
             return results
 
         with pool_context().Pool(
@@ -660,6 +717,9 @@ class MultiBenchmarkExplorer:
         if workers > 1:
             specs = {lane.benchmark.name: (lane.sizes, self.seed) for lane in lanes}
             by_name = {lane.benchmark.name: lane for lane in lanes}
+            # Mirrors the workers' default-pipeline sessions so seeded keys
+            # match what a serial rerun would look up.
+            seed_session = CompilerSession(board=self.board, model=self.model)
 
             def pooled_evaluate(tasks):
                 results = pool.map(_evaluate_point_task, tasks)
@@ -672,6 +732,7 @@ class MultiBenchmarkExplorer:
                         self.model,
                         [point],
                         [result],
+                        session=seed_session,
                     )
                 return results
 
@@ -706,6 +767,9 @@ class MultiBenchmarkExplorer:
 
     def _serial_evaluate(self, lanes: List[_Lane]):
         by_name = {lane.benchmark.name: lane for lane in lanes}
+        # One session shared by every lane: the whole suite compiles through
+        # the same pipeline, caches and naming scope.
+        session = CompilerSession(board=self.board, model=self.model)
 
         def evaluate(tasks: List[Tuple[str, DesignPoint]]) -> List[PointResult]:
             out = []
@@ -718,6 +782,7 @@ class MultiBenchmarkExplorer:
                         point,
                         board=self.board,
                         model=self.model,
+                        session=session,
                     )
                 )
             return out

@@ -97,26 +97,29 @@ class SpaceAxes:
 
     ``tile_values`` maps each tiled size symbol to its sorted candidate
     tiles; ``pars`` and ``metas`` are the sorted parallelisation factors and
-    metapipelining flags that occur in the space.  ``members`` is the set of
-    points actually in the space: every move a strategy proposes is snapped
-    to it, so search never evaluates a point grid enumeration would not
-    have produced (which is what makes "search front ⊆ grid front"
-    testable).
+    metapipelining flags that occur in the space, and ``pipelines`` the
+    pass-pipeline variants.  ``members`` is the set of points actually in
+    the space: every move a strategy proposes is snapped to it, so search
+    never evaluates a point grid enumeration would not have produced
+    (which is what makes "search front ⊆ grid front" testable).
     """
 
     tile_values: Tuple[Tuple[str, Tuple[int, ...]], ...]
     pars: Tuple[int, ...]
     metas: Tuple[bool, ...]
     members: frozenset
+    pipelines: Tuple[str, ...] = ("default",)
 
     @staticmethod
     def from_space(space: DesignSpace) -> "SpaceAxes":
         tiles: Dict[str, set] = {}
         pars: set = set()
         metas: set = set()
+        pipelines: set = set()
         for point in space:
             pars.add(point.par)
             metas.add(point.metapipelining)
+            pipelines.add(point.pipeline)
             for name, size in point.tile_sizes:
                 tiles.setdefault(name, set()).add(size)
         return SpaceAxes(
@@ -126,6 +129,7 @@ class SpaceAxes:
             pars=tuple(sorted(pars)),
             metas=tuple(sorted(metas)),
             members=frozenset(space),
+            pipelines=tuple(sorted(pipelines)) or ("default",),
         )
 
     def neighbors(self, point: DesignPoint) -> List[DesignPoint]:
@@ -133,12 +137,14 @@ class SpaceAxes:
 
         A step moves one gene to an adjacent value: a tile size to the next
         smaller/larger candidate, ``par`` to the next smaller/larger factor,
-        or the metapipelining flag to its other value.  The baseline
-        (untiled) points additionally neighbour the fully-smallest and
-        fully-largest tilings so tiled and untiled regions stay connected.
+        the metapipelining flag to its other value, or the pass-pipeline
+        variant to any other variant in the space.  The baseline (untiled)
+        points additionally neighbour the fully-smallest and fully-largest
+        tilings so tiled and untiled regions stay connected.
         """
         moved: List[DesignPoint] = []
         tiles = point.tiles
+        variant = point.pipeline
 
         for name, values in self.tile_values:
             current = tiles.get(name)
@@ -153,7 +159,12 @@ class SpaceAxes:
                     new_tiles = dict(tiles)
                     new_tiles[name] = values[other]
                     moved.append(
-                        DesignPoint.make(new_tiles, par=point.par, metapipelining=point.metapipelining)
+                        DesignPoint.make(
+                            new_tiles,
+                            par=point.par,
+                            metapipelining=point.metapipelining,
+                            pipeline=variant,
+                        )
                     )
 
         par_index = self.pars.index(point.par) if point.par in self.pars else None
@@ -163,24 +174,47 @@ class SpaceAxes:
                 if 0 <= other < len(self.pars):
                     moved.append(
                         DesignPoint.make(
-                            tiles or None, par=self.pars[other], metapipelining=point.metapipelining
+                            tiles or None,
+                            par=self.pars[other],
+                            metapipelining=point.metapipelining,
+                            pipeline=variant,
                         )
                     )
 
         if len(self.metas) > 1:
             moved.append(
-                DesignPoint.make(tiles or None, par=point.par, metapipelining=not point.metapipelining)
+                DesignPoint.make(
+                    tiles or None,
+                    par=point.par,
+                    metapipelining=not point.metapipelining,
+                    pipeline=variant,
+                )
             )
+
+        for other_variant in self.pipelines:
+            if other_variant != variant:
+                moved.append(
+                    DesignPoint.make(
+                        tiles or None,
+                        par=point.par,
+                        metapipelining=point.metapipelining,
+                        pipeline=other_variant,
+                    )
+                )
 
         if not tiles and self.tile_values:
             # Baseline → the corner tilings, keeping par.
             for pick in (0, -1):
                 corner = {name: values[pick] for name, values in self.tile_values}
                 for meta in self.metas:
-                    moved.append(DesignPoint.make(corner, par=point.par, metapipelining=meta))
+                    moved.append(
+                        DesignPoint.make(
+                            corner, par=point.par, metapipelining=meta, pipeline=variant
+                        )
+                    )
         elif tiles:
             # Tiled → the untiled baseline at the same par.
-            moved.append(DesignPoint.make(None, par=point.par))
+            moved.append(DesignPoint.make(None, par=point.par, pipeline=variant))
 
         seen: Dict[DesignPoint, None] = {}
         for candidate in moved:
@@ -207,13 +241,16 @@ class SpaceAxes:
         candidates: List[DesignPoint] = []
         par_extremes = [self.pars[0], self.pars[-1]] if self.pars else []
         for par in par_extremes:
-            candidates.append(DesignPoint.make(None, par=par))
-            for pick in (0, -1):
-                corner = {name: values[pick] for name, values in self.tile_values}
-                for meta in self.metas:
-                    candidates.append(
-                        DesignPoint.make(corner or None, par=par, metapipelining=meta)
-                    )
+            for variant in self.pipelines:
+                candidates.append(DesignPoint.make(None, par=par, pipeline=variant))
+                for pick in (0, -1):
+                    corner = {name: values[pick] for name, values in self.tile_values}
+                    for meta in self.metas:
+                        candidates.append(
+                            DesignPoint.make(
+                                corner or None, par=par, metapipelining=meta, pipeline=variant
+                            )
+                        )
         unique: Dict[DesignPoint, None] = {}
         for candidate in candidates:
             if candidate in self.members:
@@ -455,7 +492,14 @@ class GeneticStrategy(Strategy):
             tiles = dict((first if rng.random() < 0.5 else second).tiles)
         par = first.par if rng.random() < 0.5 else second.par
         meta = first.metapipelining if rng.random() < 0.5 else second.metapipelining
-        child = DesignPoint.make(tiles or None, par=par, metapipelining=meta)
+        # Only draw for the pipeline gene when the parents disagree, so
+        # single-variant spaces keep the exact pre-pipeline-axis RNG stream
+        # (search trajectories stay reproducible across releases).
+        if first.pipeline == second.pipeline:
+            variant = first.pipeline
+        else:
+            variant = first.pipeline if rng.random() < 0.5 else second.pipeline
+        child = DesignPoint.make(tiles or None, par=par, metapipelining=meta, pipeline=variant)
         return child if child in axes.members else first
 
     def _tournament(

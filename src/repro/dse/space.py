@@ -42,12 +42,16 @@ class DesignPoint:
     """One candidate configuration of the design space.
 
     ``tile_sizes`` is a sorted tuple of ``(size-name, tile)`` pairs; an
-    empty tuple denotes the untiled baseline configuration.
+    empty tuple denotes the untiled baseline configuration.  ``pipeline``
+    names the pass-pipeline variant (:mod:`repro.pipeline.variants`) the
+    point compiles through — transform orderings are a search axis just
+    like tile sizes and parallelism.
     """
 
     tile_sizes: Tuple[Tuple[str, int], ...] = ()
     par: int = 16
     metapipelining: bool = False
+    pipeline: str = "default"
 
     @property
     def tiling(self) -> bool:
@@ -59,11 +63,12 @@ class DesignPoint:
 
     @property
     def label(self) -> str:
+        suffix = f"/{self.pipeline}" if self.pipeline != "default" else ""
         if not self.tiling:
-            return f"baseline/par{self.par}"
+            return f"baseline/par{self.par}{suffix}"
         tiles = ",".join(f"{name}={size}" for name, size in self.tile_sizes)
         meta = "+meta" if self.metapipelining else ""
-        return f"tiles[{tiles}]/par{self.par}{meta}"
+        return f"tiles[{tiles}]/par{self.par}{meta}{suffix}"
 
     def config(self) -> CompileConfig:
         """The compiler configuration realising this point."""
@@ -80,11 +85,13 @@ class DesignPoint:
         tile_sizes: Optional[Mapping[str, int]] = None,
         par: int = 16,
         metapipelining: bool = False,
+        pipeline: str = "default",
     ) -> "DesignPoint":
         return DesignPoint(
             tile_sizes=tuple(sorted((tile_sizes or {}).items())),
             par=par,
             metapipelining=metapipelining,
+            pipeline=pipeline,
         )
 
 
@@ -146,20 +153,25 @@ def default_space(
     max_tiles_per_dim: int = 4,
     max_points: Optional[int] = None,
     include_baseline: bool = True,
+    pipelines: Sequence[str] = ("default",),
 ) -> DesignSpace:
     """The natural sweep for a benchmark.
 
     ``tiled_dims`` maps each size symbol the benchmark tiles to its full
     extent (usually ``{name: sizes[name] for name in bench.tile_sizes}``).
     Candidate tiles are the largest ``max_tiles_per_dim`` powers of two not
-    exceeding the extent; the cartesian product with ``pars`` and the
-    metapipelining flag forms the space, optionally decimated to
-    ``max_points`` with a deterministic stride.
+    exceeding the extent; the cartesian product with ``pars``, the
+    metapipelining flag and the pass-pipeline variants forms the space,
+    optionally decimated to ``max_points`` with a deterministic stride.
+    ``pipelines`` names registered pipeline variants
+    (:func:`repro.pipeline.variants.pipeline_variants`); passing more than
+    one makes the transform ordering an extra search gene.
     """
     space = DesignSpace()
     if include_baseline:
         for par in pars:
-            space.add(DesignPoint.make(None, par=par))
+            for variant in pipelines:
+                space.add(DesignPoint.make(None, par=par, pipeline=variant))
 
     per_dim: List[List[Tuple[str, int]]] = []
     for name, extent in sorted(tiled_dims.items()):
@@ -169,9 +181,15 @@ def default_space(
     for combo in itertools.product(*per_dim) if per_dim else ():
         for par in pars:
             for meta in metapipelining:
-                space.add(
-                    DesignPoint(tile_sizes=tuple(sorted(combo)), par=par, metapipelining=meta)
-                )
+                for variant in pipelines:
+                    space.add(
+                        DesignPoint(
+                            tile_sizes=tuple(sorted(combo)),
+                            par=par,
+                            metapipelining=meta,
+                            pipeline=variant,
+                        )
+                    )
 
     if max_points is not None and len(space) > max_points:
         stride = len(space.points) / max_points

@@ -41,3 +41,7 @@ class SimulationError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised for invalid compile or evaluation configurations."""
+
+
+class PipelineError(ReproError):
+    """Raised when a pass pipeline is mis-assembled or mis-addressed."""

@@ -27,9 +27,11 @@ import numpy as np
 from repro.analysis.area import relative_area
 from repro.apps import all_benchmarks, get_benchmark
 from repro.apps.base import Benchmark
-from repro.compiler import CompilationResult
 from repro.config import BASELINE, CompileConfig
 from repro.dse.engine import evaluate_config
+from repro.dse.results import PointResult
+from repro.pipeline.pipeline import PipelineReport
+from repro.pipeline.session import CompilationResult, CompilerSession
 from repro.sim.metrics import SimulationResult, speedup
 from repro.sim.model import PerformanceModel
 from repro.target.device import DEFAULT_BOARD, Board
@@ -57,6 +59,11 @@ class ConfigResult:
     simulation: SimulationResult
     relative_resources: Dict[str, float] = field(default_factory=dict)
 
+    @property
+    def pipeline_report(self) -> Optional[PipelineReport]:
+        """Per-pass instrumentation of this configuration's compilation."""
+        return self.compilation.report
+
 
 @dataclass
 class BenchmarkResult:
@@ -67,7 +74,7 @@ class BenchmarkResult:
     baseline: ConfigResult
     tiling: ConfigResult
     metapipelining: ConfigResult
-    dse_best: Optional[object] = None  # PointResult of the searched best point
+    dse_best: Optional[PointResult] = None
     dse_strategy: str = ""
     dse_evaluations: int = 0
 
@@ -146,6 +153,31 @@ class Figure7Report:
     def as_dict(self) -> Dict[str, Dict[str, float]]:
         return {result.name: result.speedups() for result in self.results}
 
+    def pass_table(self) -> str:
+        """Per-pass timing/caching breakdown across every compiled config.
+
+        Only populated when the report was produced with
+        ``run_figure7(report_passes=True)`` (otherwise compilations still
+        carry reports, and this renders them all the same).
+        """
+        header = (
+            f"{'benchmark':<10} {'config':<24} {'pass':<20} "
+            f"{'time':>10} {'cached':>7} {'delta':>7}"
+        )
+        lines = [header, "-" * len(header)]
+        for result in self.results:
+            for config_result in (result.baseline, result.tiling, result.metapipelining):
+                report = config_result.pipeline_report
+                if report is None:
+                    continue
+                for record in report.records:
+                    lines.append(
+                        f"{result.name:<10} {config_result.label:<24} {record.name:<20} "
+                        f"{record.seconds * 1e3:>8.2f}ms "
+                        f"{'hit' if record.cached else '-':>7} {record.node_delta:>+7}"
+                    )
+        return "\n".join(lines)
+
 
 def _configs_for(bench: Benchmark) -> Dict[str, CompileConfig]:
     tiles = dict(bench.tile_sizes)
@@ -166,25 +198,31 @@ def run_benchmark(
     model: Optional[PerformanceModel] = None,
     par: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
+    session: Optional[CompilerSession] = None,
 ) -> BenchmarkResult:
     """Compile and simulate all three configurations of one benchmark.
 
-    The sweep runs through the DSE engine's single-configuration path
-    (:func:`repro.dse.engine.evaluate_config`), so the tiling and
-    tiling+metapipelining configurations — which share tile sizes — reuse
-    one memoised tiling result, and all three share the warm analysis
-    caches.
+    The sweep runs through one :class:`~repro.pipeline.session.CompilerSession`
+    (pass ``session`` to share it across benchmarks, as :func:`run_figure7`
+    does), so the tiling and tiling+metapipelining configurations — which
+    share tile sizes — reuse the memoised pipeline-pass results, and all
+    three share the warm analysis caches.  Each configuration's
+    compilation carries its per-pass :class:`PipelineReport`.
     """
     bench = get_benchmark(name)
     sizes = dict(sizes or bench.default_sizes)
     bindings = bench.bindings(sizes, rng or np.random.default_rng(3))
     program = bench.build()
     par = par or bench.par_factors.get("inner", 16)
+    if session is None:
+        session = CompilerSession(board=board, model=model)
 
     configs = _configs_for(bench)
     results: Dict[str, ConfigResult] = {}
     for label, config in configs.items():
-        evaluated = evaluate_config(program, config, bindings, board=board, par=par, model=model)
+        evaluated = evaluate_config(
+            program, config, bindings, board=board, par=par, model=model, session=session
+        )
         results[label] = ConfigResult(
             label=label, compilation=evaluated.compilation, simulation=evaluated.simulation
         )
@@ -219,12 +257,21 @@ def run_figure7(
     dse_eval_fraction: Optional[float] = 0.4,
     dse_shared_pool: bool = True,
     dse_disk_cache: Optional[object] = None,
+    report_passes: bool = False,
 ) -> Figure7Report:
     """Reproduce Figure 7 across the benchmark suite.
 
     ``workers > 1`` fans the per-benchmark sweeps out over a
     ``multiprocessing`` pool (one benchmark per task); the default runs
-    serially, sharing the warm analysis caches across benchmarks.
+    serially through **one** shared
+    :class:`~repro.pipeline.session.CompilerSession`, sharing the warm
+    analysis caches (and memoised pipeline passes) across benchmarks.
+
+    ``report_passes=True`` keeps every configuration's per-pass
+    :class:`~repro.pipeline.pipeline.PipelineReport` (wall-clock, cache
+    hits, IR node deltas) attached, rendered by
+    :meth:`Figure7Report.pass_table`; the default drops the
+    instrumentation to keep result payloads lean.
 
     ``dse_strategy`` additionally searches each benchmark's design space
     (``"exhaustive"``, ``"hill-climb"``, ``"genetic"`` or a
@@ -246,7 +293,15 @@ def run_figure7(
         with pool_context().Pool(processes=min(workers, len(names))) as pool:
             report.results = pool.map(_run_benchmark_task, tasks)
     else:
-        report.results = [_run_benchmark_task(task) for task in tasks]
+        session = CompilerSession(board=board, model=model)
+        report.results = [
+            run_benchmark(name, sizes=sizes, board=board, model=model, session=session)
+            for name, sizes, _, _ in tasks
+        ]
+    if not report_passes:
+        for result in report.results:
+            for config_result in (result.baseline, result.tiling, result.metapipelining):
+                config_result.compilation.report = None
 
     if dse_strategy is not None:
         from repro.dse.engine import MultiBenchmarkExplorer, explore

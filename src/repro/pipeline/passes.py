@@ -1,0 +1,254 @@
+"""The pass protocol and the built-in passes of the compilation pipeline.
+
+Every step of the paper's Figure 1 flow — the pattern transformations of
+Section 4 and the hardware generation of Section 5 — is expressed as a
+:class:`PipelinePass`: a named unit with ``run(program, ctx) -> program``
+and a cache-key contribution that tells the pipeline how (and whether) its
+output may be memoised through the analysis cache.
+
+Two kinds of passes exist:
+
+* **transform passes** (fusion, strip mining, tile-copy insertion, CSE,
+  code motion, interchange) rewrite the program; their results are pure
+  functions of the program structure and the tiling-relevant configuration,
+  so they memoise on ``(structural hash, input/size names, cache_key)``;
+* **terminal passes** (:class:`GenerateHardwareStage`,
+  :class:`EstimateAreaStage`) leave the program untouched and deposit
+  non-IR artifacts — the hardware design and its area report — into the
+  :class:`PassContext`.  They depend on the concrete workload bindings, so
+  they never memoise here (whole point evaluations are memoised one level
+  up, in the engine's ``point_results`` table).
+
+All tiling-flow passes gate themselves on ``ctx.config.tiling``: with
+tiling disabled they return the program unchanged, which is what makes one
+pipeline serve the baseline and the optimised configurations alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+from repro.analysis.area import estimate_area
+from repro.config import CompileConfig
+from repro.dse.cache import ANALYSIS_CACHE, AnalysisCache, config_signature
+from repro.errors import PipelineError
+from repro.hw.generation import generate_hardware
+from repro.ppl.program import Program
+from repro.sim.model import PerformanceModel
+from repro.target.device import DEFAULT_BOARD, Board
+from repro.transforms.code_motion import CodeMotion
+from repro.transforms.cse import CommonSubexpressionElimination
+from repro.transforms.fusion import FusionPass
+from repro.transforms.interchange import InterchangePass
+from repro.transforms.strip_mining import StripMiningPass, TileCopyInsertionPass
+
+__all__ = [
+    "PassContext",
+    "PipelinePass",
+    "FusionStage",
+    "StripMineStage",
+    "TileCopyStage",
+    "CseStage",
+    "CodeMotionStage",
+    "InterchangeStage",
+    "GenerateHardwareStage",
+    "EstimateAreaStage",
+]
+
+
+@dataclass
+class PassContext:
+    """Everything a pass may read besides the program itself.
+
+    The context carries the compile configuration, the concrete workload
+    bindings, the target board and per-compile knobs, plus ``artifacts`` —
+    the scratch space where terminal passes deposit the hardware design and
+    area report and the interchange stage records which rules fired.  The
+    pipeline threads one context through a whole run; a fresh context is
+    created per compilation, so artifacts never leak between compiles.
+    """
+
+    config: CompileConfig
+    bindings: Mapping[str, object] = field(default_factory=dict)
+    board: Board = DEFAULT_BOARD
+    par: Optional[int] = None
+    model: Optional[PerformanceModel] = None
+    cache: Optional[AnalysisCache] = None
+    artifacts: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cache is None:
+            self.cache = ANALYSIS_CACHE
+
+
+class PipelinePass:
+    """One named step of a compilation pipeline.
+
+    Subclasses implement :meth:`run`.  The pipeline memoises a pass's
+    result through the analysis cache when :meth:`cache_key` returns a
+    hashable (``None`` disables memoisation for that pass);
+    :meth:`payload`/:meth:`restore` let passes with side outputs (e.g. the
+    interchange log) round-trip them through the cache.
+    """
+
+    name: str = "pass"
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        if name is not None:
+            self.name = name
+
+    def run(self, program: Program, ctx: PassContext) -> Program:
+        raise NotImplementedError(f"{type(self).__name__} must implement run")
+
+    def cache_key(self, ctx: PassContext) -> Optional[Hashable]:
+        """This pass's contribution to the memo key, or None (never memoise)."""
+        return None
+
+    def payload(self, program: Program, ctx: PassContext) -> object:
+        """What to store in the cache for a completed run (default: the program)."""
+        return program
+
+    def restore(self, payload: object, ctx: PassContext) -> Program:
+        """Rebuild the pass outcome (program + context side effects) from a payload."""
+        return payload  # type: ignore[return-value]
+
+    def signature(self) -> Tuple[str, str]:
+        """Stable identity used in pipeline signatures and point-result keys."""
+        return (type(self).__name__, self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class FusionStage(PipelinePass):
+    """Vertical producer/consumer fusion (assumed up-front in the paper)."""
+
+    name = "fusion"
+
+    def run(self, program: Program, ctx: PassContext) -> Program:
+        return FusionPass().run(program)
+
+    def cache_key(self, ctx: PassContext) -> Hashable:
+        return ()
+
+
+class _TilingGatedStage(PipelinePass):
+    """A transform that only applies when the configuration enables tiling."""
+
+    def run(self, program: Program, ctx: PassContext) -> Program:
+        if not ctx.config.tiling:
+            return program
+        return self.apply(program, ctx)
+
+    def apply(self, program: Program, ctx: PassContext) -> Program:
+        raise NotImplementedError
+
+    def cache_key(self, ctx: PassContext) -> Hashable:
+        if not ctx.config.tiling:
+            return (False,)
+        return (True,) + self.config_key(ctx)
+
+    def config_key(self, ctx: PassContext) -> Tuple:
+        """The tiling-relevant configuration this stage's output depends on."""
+        return ()
+
+
+class StripMineStage(_TilingGatedStage):
+    """Strip mining (Table 1): split each tiled pattern into tile loops."""
+
+    name = "strip-mine"
+
+    def apply(self, program: Program, ctx: PassContext) -> Program:
+        return StripMiningPass(ctx.config).run(program)
+
+    def config_key(self, ctx: PassContext) -> Tuple:
+        return (config_signature(ctx.config),)
+
+
+class TileCopyStage(_TilingGatedStage):
+    """Tile-copy insertion (Table 2): materialise predictable accesses."""
+
+    name = "tile-copies"
+
+    def apply(self, program: Program, ctx: PassContext) -> Program:
+        return TileCopyInsertionPass(ctx.config).run(program)
+
+    def config_key(self, ctx: PassContext) -> Tuple:
+        return (config_signature(ctx.config),)
+
+
+class CseStage(_TilingGatedStage):
+    """Common subexpression elimination over Lets (duplicate tile copies)."""
+
+    name = "cse"
+
+    def apply(self, program: Program, ctx: PassContext) -> Program:
+        return CommonSubexpressionElimination().run(program)
+
+
+class CodeMotionStage(_TilingGatedStage):
+    """Loop-invariant code motion (array tiles out of innermost patterns)."""
+
+    name = "code-motion"
+
+    def apply(self, program: Program, ctx: PassContext) -> Program:
+        return CodeMotion().run(program)
+
+
+class InterchangeStage(_TilingGatedStage):
+    """Pattern interchange with the on-chip-size split heuristic (Table 3)."""
+
+    name = "interchange"
+
+    def apply(self, program: Program, ctx: PassContext) -> Program:
+        interchange = InterchangePass(ctx.config)
+        result = interchange.run(program)
+        ctx.artifacts["applied_interchanges"] = list(getattr(interchange, "applied", []))
+        return result
+
+    def config_key(self, ctx: PassContext) -> Tuple:
+        return (config_signature(ctx.config),)
+
+    def payload(self, program: Program, ctx: PassContext) -> object:
+        return (program, tuple(ctx.artifacts.get("applied_interchanges", ())))
+
+    def restore(self, payload: object, ctx: PassContext) -> Program:
+        program, applied = payload  # type: ignore[misc]
+        ctx.artifacts["applied_interchanges"] = list(applied)
+        return program
+
+
+class GenerateHardwareStage(PipelinePass):
+    """Terminal pass: map the (tiled) program onto the hardware templates.
+
+    Deposits the :class:`~repro.hw.design.HardwareDesign` in
+    ``ctx.artifacts["design"]`` and returns the program unchanged.  Never
+    memoised here: the design depends on the workload bindings, and whole
+    point evaluations are cached one level up by the DSE engine.
+    """
+
+    name = "generate-hardware"
+
+    def run(self, program: Program, ctx: PassContext) -> Program:
+        ctx.artifacts["design"] = generate_hardware(
+            program, ctx.config, ctx.bindings, board=ctx.board, par=ctx.par
+        )
+        return program
+
+
+class EstimateAreaStage(PipelinePass):
+    """Terminal pass: cost the generated design against the board's device."""
+
+    name = "estimate-area"
+
+    def run(self, program: Program, ctx: PassContext) -> Program:
+        design = ctx.artifacts.get("design")
+        if design is None:
+            raise PipelineError(
+                "estimate-area needs a hardware design: run generate-hardware "
+                "earlier in the pipeline (or compile through a CompilerSession, "
+                "which appends the terminal passes when missing)"
+            )
+        ctx.artifacts["area"] = estimate_area(design)
+        return program

@@ -1,0 +1,122 @@
+"""The pipeline-variant registry: named pass orderings the DSE can sweep.
+
+The default pipeline is the paper's Figure 1 flow — fusion, strip mining,
+tile-copy insertion, a CSE + code-motion cleanup, pattern interchange, a
+second cleanup ("we assume that code motion has been run again after
+pattern interchange has completed"), then the two terminal passes that
+generate hardware and cost it.
+
+Variants are *factories* keyed by name; :func:`get_pipeline` resolves a
+name (or passes a :class:`~repro.pipeline.pipeline.Pipeline` instance
+through).  Because a variant name is also a gene on
+:class:`~repro.dse.space.DesignPoint`, registering a new variant makes it
+sweepable by every search strategy with no engine changes: the point's
+``pipeline`` field is resolved here at compile time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Union
+
+from repro.pipeline.passes import (
+    CodeMotionStage,
+    CseStage,
+    EstimateAreaStage,
+    FusionStage,
+    GenerateHardwareStage,
+    InterchangeStage,
+    StripMineStage,
+    TileCopyStage,
+)
+from repro.pipeline.pipeline import Pipeline
+
+__all__ = [
+    "default_passes",
+    "default_pipeline",
+    "get_pipeline",
+    "register_pipeline_variant",
+    "pipeline_variants",
+    "variant_signature",
+]
+
+
+def default_passes():
+    """Fresh instances of the full Figure 1 pass sequence."""
+    return [
+        FusionStage(),
+        StripMineStage(),
+        TileCopyStage(),
+        CseStage("cse"),
+        CodeMotionStage("code-motion"),
+        InterchangeStage(),
+        CseStage("post-cse"),
+        CodeMotionStage("post-code-motion"),
+        GenerateHardwareStage(),
+        EstimateAreaStage(),
+    ]
+
+
+def default_pipeline() -> Pipeline:
+    """The paper's full flow as a pipeline."""
+    return Pipeline(default_passes(), name="default")
+
+
+_VARIANTS: Dict[str, Callable[[], Pipeline]] = {
+    "default": default_pipeline,
+    # Skip vertical fusion: patterns are tiled and scheduled as written.
+    "no-fusion": lambda: default_pipeline().without("fusion").renamed("no-fusion"),
+    # Skip both CSE cleanups: duplicate tile copies survive into hardware.
+    "no-cse": lambda: default_pipeline().without("cse", "post-cse").renamed("no-cse"),
+    # Run the cleanup only once, after interchange — a legal reordering
+    # that trades duplicate pre-interchange copies for one fewer sweep.
+    "late-cleanup": lambda: default_pipeline()
+    .without("cse", "code-motion")
+    .renamed("late-cleanup"),
+}
+
+
+def pipeline_variants() -> List[str]:
+    """Names of every registered pipeline variant."""
+    return sorted(_VARIANTS)
+
+
+#: Memoised per-variant pass-sequence signatures.  Point-result cache keys
+#: embed these on the DSE hot path, where re-instantiating the variant's
+#: pipeline per lookup would dominate warm evaluations.
+_SIGNATURES: Dict[str, tuple] = {}
+
+
+def register_pipeline_variant(name: str, factory: Callable[[], Pipeline]) -> None:
+    """Register (or replace) a named pipeline variant.
+
+    The factory is invoked per resolution, so variants never share mutable
+    pass state.  Registering a name makes it a legal value of the
+    ``pipeline`` gene in :func:`repro.dse.space.default_space`.
+    """
+    _VARIANTS[name] = factory
+    _SIGNATURES.pop(name, None)
+
+
+def variant_signature(name: str) -> tuple:
+    """The (memoised) pass-sequence signature of a registered variant.
+
+    Raises ``ValueError`` for unregistered names, like :func:`get_pipeline`.
+    """
+    if name not in _SIGNATURES:
+        _SIGNATURES[name] = get_pipeline(name).signature()
+    return _SIGNATURES[name]
+
+
+def get_pipeline(spec: Union[str, Pipeline, None]) -> Pipeline:
+    """Resolve a pipeline: None → default, a name → its variant, a Pipeline → itself."""
+    if spec is None:
+        return default_pipeline()
+    if isinstance(spec, Pipeline):
+        return spec
+    try:
+        factory = _VARIANTS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown pipeline variant {spec!r}; available: {pipeline_variants()}"
+        ) from None
+    return factory()

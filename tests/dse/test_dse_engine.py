@@ -131,3 +131,92 @@ class TestParetoFront:
     def test_single_point_is_its_own_front(self):
         only = self._result(10, 0.5)
         assert pareto_front([only]) == [only]
+
+
+class TestPipelineVariantSweep:
+    """The pipeline gene flows from the space through evaluation."""
+
+    def test_explore_evaluates_pipeline_variants(self):
+        from repro.dse.space import DesignSpace
+
+        points = [
+            DesignPoint.make({"m": 64, "n": 64, "p": 64}, par=8),
+            DesignPoint.make({"m": 64, "n": 64, "p": 64}, par=8, pipeline="no-fusion"),
+            DesignPoint.make({"m": 64, "n": 64, "p": 64}, par=8, pipeline="no-cse"),
+        ]
+        result = explore(
+            "gemm", sizes=SIZES, space=DesignSpace().extend(points), prune=False
+        )
+        assert {r.point.pipeline for r in result.evaluated} == {
+            "default",
+            "no-fusion",
+            "no-cse",
+        }
+        assert all(r.cycles > 0 for r in result.evaluated)
+
+    def test_variant_points_memoise_under_distinct_keys(self):
+        bench = get_benchmark("gemm")
+        bindings = bench.bindings(SIZES, np.random.default_rng(0))
+        program = bench.build()
+        default = evaluate_point(
+            program, bindings, DesignPoint.make({"m": 64}, par=8)
+        )
+        variant = evaluate_point(
+            program, bindings, DesignPoint.make({"m": 64}, par=8, pipeline="no-cse")
+        )
+        table = ANALYSIS_CACHE.table("point_results")
+        assert len(table) == 2
+        assert default.cycles > 0 and variant.cycles > 0
+
+    def test_custom_variant_memoises_and_unknown_variant_raises(self):
+        bench = get_benchmark("gemm")
+        bindings = bench.bindings(SIZES, np.random.default_rng(0))
+        program = bench.build()
+        from repro.pipeline import Pipeline, default_passes, register_pipeline_variant
+
+        register_pipeline_variant(
+            "test-ephemeral", lambda: Pipeline(default_passes(), name="test-ephemeral")
+        )
+        try:
+            before = ANALYSIS_CACHE.size("point_results")
+            evaluate_point(
+                program,
+                bindings,
+                DesignPoint.make({"m": 64}, par=8, pipeline="test-ephemeral"),
+            )
+            assert ANALYSIS_CACHE.size("point_results") == before + 1
+        finally:
+            from repro.pipeline import variants
+
+            variants._VARIANTS.pop("test-ephemeral", None)
+            variants._SIGNATURES.pop("test-ephemeral", None)
+        with pytest.raises(Exception):
+            evaluate_point(
+                program,
+                bindings,
+                DesignPoint.make({"m": 64}, par=4, pipeline="test-gone"),
+            )
+
+    def test_session_pipeline_override_cannot_poison_point_cache(self):
+        """A session with an overridden pipeline keys results under the
+        pipeline it actually ran, never under the point's registry variant."""
+        from repro.pipeline import EstimateAreaStage, GenerateHardwareStage, Pipeline
+        from repro.pipeline.session import CompilerSession
+
+        bench = get_benchmark("gemm")
+        bindings = bench.bindings(SIZES, np.random.default_rng(0))
+        program = bench.build()
+        point = DesignPoint.make({"m": 64}, par=8, metapipelining=True)
+
+        bare = CompilerSession(
+            pipeline=Pipeline(
+                [GenerateHardwareStage(), EstimateAreaStage()], name="bare"
+            )
+        )
+        evaluate_point(program, bindings, point, session=bare)
+
+        with ANALYSIS_CACHE.disabled():
+            cold = evaluate_point(program, bindings, point)
+        warm = evaluate_point(program, bindings, point)
+        assert warm.cycles == cold.cycles
+        assert warm.logic == cold.logic

@@ -95,3 +95,53 @@ class TestAreaPreFilter:
         decision = estimate_point_area(self.SHAPES, self.SIZES, point, DEFAULT_BOARD)
         assert decision.feasible
         assert decision.bram_bits == 0
+
+
+class TestPipelineAxis:
+    """The pass-pipeline variant as a design-space gene."""
+
+    def test_default_point_uses_default_pipeline(self):
+        point = DesignPoint.make({"m": 64}, par=8)
+        assert point.pipeline == "default"
+        assert "default" not in point.label
+
+    def test_variant_appears_in_label(self):
+        point = DesignPoint.make({"m": 64}, par=8, pipeline="no-fusion")
+        assert point.label.endswith("/no-fusion")
+        baseline = DesignPoint.make(None, par=8, pipeline="no-cse")
+        assert baseline.label == "baseline/par8/no-cse"
+
+    def test_points_differing_only_in_pipeline_are_distinct(self):
+        a = DesignPoint.make({"m": 64}, par=8)
+        b = DesignPoint.make({"m": 64}, par=8, pipeline="no-fusion")
+        assert a != b
+        assert len(DesignSpace().extend([a, b])) == 2
+
+    def test_default_space_sweeps_pipeline_variants(self):
+        single = default_space({"m": 1 << 12}, pars=(8, 16))
+        multi = default_space({"m": 1 << 12}, pars=(8, 16), pipelines=("default", "no-fusion"))
+        assert len(multi) == 2 * len(single)
+        variants = {point.pipeline for point in multi}
+        assert variants == {"default", "no-fusion"}
+
+    def test_axes_expose_pipeline_gene(self):
+        from repro.dse.search import SpaceAxes
+
+        space = default_space(
+            {"m": 1 << 12}, pars=(8,), pipelines=("default", "no-fusion")
+        )
+        axes = SpaceAxes.from_space(space)
+        assert axes.pipelines == ("default", "no-fusion")
+        tiled = next(p for p in space if p.tiling and p.pipeline == "default")
+        neighbors = axes.neighbors(tiled)
+        flipped = [p for p in neighbors if p.pipeline == "no-fusion"]
+        assert flipped, "pipeline flip must be a one-gene move"
+        assert all(p in space for p in neighbors)
+
+    def test_single_variant_space_has_no_pipeline_moves(self):
+        from repro.dse.search import SpaceAxes
+
+        space = default_space({"m": 1 << 12}, pars=(8, 16))
+        axes = SpaceAxes.from_space(space)
+        point = next(p for p in space if p.tiling)
+        assert all(n.pipeline == "default" for n in axes.neighbors(point))

@@ -80,6 +80,35 @@ class TestFigure7Harness:
         assert report.results[0].dse_best is None
         assert "dse-best" not in report.speedup_table()
 
+    def test_report_passes_surfaces_pipeline_reports(self):
+        report = run_figure7(
+            benchmarks=["gemm"], sizes_override=SMALL_SIZES, report_passes=True
+        )
+        result = report.results[0]
+        for config_result in (result.baseline, result.tiling, result.metapipelining):
+            pipeline_report = config_result.pipeline_report
+            assert pipeline_report is not None
+            assert [r.name for r in pipeline_report.records][:2] == ["fusion", "strip-mine"]
+        table = report.pass_table()
+        assert "strip-mine" in table and "generate-hardware" in table
+
+    def test_reports_dropped_by_default(self):
+        report = run_figure7(benchmarks=["gemm"], sizes_override=SMALL_SIZES)
+        result = report.results[0]
+        assert result.baseline.pipeline_report is None
+        assert report.pass_table().count("\n") == 1  # header + rule only
+
+    def test_dse_best_is_a_point_result(self):
+        from repro.dse.results import PointResult
+
+        report = run_figure7(
+            benchmarks=["gemm"],
+            sizes_override=SMALL_SIZES,
+            dse_strategy="hill-climb",
+            dse_eval_fraction=0.25,
+        )
+        assert isinstance(report.results[0].dse_best, PointResult)
+
     def test_exhaustive_strategy_ignores_default_eval_fraction(self):
         """The default dse_eval_fraction must not truncate an exhaustive
         sweep to an enumeration-order prefix."""

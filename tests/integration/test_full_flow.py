@@ -11,8 +11,8 @@ import pytest
 
 from repro.apps import all_benchmarks, get_benchmark
 from repro.codegen import generate_maxj
-from repro.compiler import compile_program
 from repro.config import BASELINE, CompileConfig
+from repro.pipeline import Session
 from repro.ppl.interp import run_program
 from repro.sim.metrics import speedup
 
@@ -32,6 +32,7 @@ BENCHMARK_NAMES = [bench.name for bench in all_benchmarks()]
 class TestFullFlow:
     def _compile_all(self, name):
         bench = get_benchmark(name)
+        session = Session()
         bindings = bench.bindings(SIZES[name], np.random.default_rng(0))
         tiles = dict(bench.tile_sizes)
         configs = {
@@ -40,7 +41,7 @@ class TestFullFlow:
             "meta": CompileConfig(tiling=True, metapipelining=True, tile_sizes=tiles),
         }
         return bench, bindings, {
-            label: compile_program(bench.build(), config, bindings)
+            label: session.compile(bench.build(), config, bindings)
             for label, config in configs.items()
         }
 
@@ -50,7 +51,7 @@ class TestFullFlow:
         config = CompileConfig(
             tiling=True, metapipelining=True, tile_sizes={k: 2 for k in bench.tile_sizes}
         )
-        result = compile_program(bench.build(), config, small)
+        result = Session().compile(bench.build(), config, small)
         np.testing.assert_allclose(
             np.asarray(run_program(result.tiled_program, small), dtype=float),
             np.asarray(bench.reference(small), dtype=float),

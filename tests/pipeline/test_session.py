@@ -1,0 +1,194 @@
+"""CompilerSession behaviour: compilation, instrumentation, caches, shims."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import compiler
+from repro.apps import get_benchmark
+from repro.config import BASELINE, CompileConfig
+from repro.dse.cache import ANALYSIS_CACHE, AnalysisCache
+from repro.dse.space import DesignPoint
+from repro.pipeline import Session, default_pipeline
+from repro.transforms.tiling import TilingDriver
+from repro.utils.naming import reset_names
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    ANALYSIS_CACHE.clear()
+    yield
+    ANALYSIS_CACHE.clear()
+
+
+def _small_workload(name="gemm"):
+    bench = get_benchmark(name)
+    bindings = bench.bindings(rng=np.random.default_rng(0))
+    config = CompileConfig(tiling=True, metapipelining=True, tile_sizes=dict(bench.tile_sizes))
+    return bench, bindings, config
+
+
+class TestSessionCompile:
+    def test_compile_produces_full_result_with_report(self):
+        bench, bindings, config = _small_workload()
+        session = Session()
+        result = session.compile(bench.build(), config, bindings)
+        assert result.design is not None
+        assert result.area.total.logic > 0
+        assert result.report is not None
+        assert result.report.passes_run == len(session.pipeline)
+        assert session.simulate(result).cycles > 0
+        assert session.compilations == 1
+        assert session.last_report is result.report
+
+    def test_stage_snapshots_match_tiling_driver(self):
+        bench, bindings, config = _small_workload()
+        session = Session(cache=AnalysisCache())
+        result = session.compile(bench.build(), config, bindings)
+        # The session compile ran under a (mirrored) fresh naming scope and
+        # advanced the global generator; reset it so the driver mints the
+        # same names and the stage programs compare structurally equal.
+        reset_names()
+        driver = TilingDriver(config).run(bench.build())
+        for stage in ("fused", "strip_mined", "interchanged", "tiled"):
+            assert (
+                getattr(result.tiling, stage).body.structural_hash()
+                == getattr(driver, stage).body.structural_hash()
+            ), stage
+        assert result.tiling.applied_interchanges == driver.applied_interchanges
+        assert result.tiling.config is config
+
+    def test_baseline_compile_collapses_stages(self):
+        bench, bindings, _ = _small_workload()
+        session = Session()
+        result = session.compile(bench.build(), BASELINE, bindings)
+        assert result.tiling.strip_mined is result.tiling.tiled
+        assert result.tiled_program.body.structural_hash() == (
+            result.tiling.fused.body.structural_hash()
+        )
+
+    def test_transform_only_pipeline_still_generates_hardware(self):
+        bench, bindings, config = _small_workload()
+        session = Session(pipeline=default_pipeline().without("generate-hardware", "estimate-area"))
+        result = session.compile(bench.build(), config, bindings)
+        assert result.design is not None
+        assert result.area.total.logic > 0
+
+    def test_compile_point_uses_pipeline_gene(self):
+        bench, bindings, _ = _small_workload()
+        session = Session()
+        tiles = {name: 2 for name in bench.tile_sizes}
+        default_point = DesignPoint.make(tiles, par=4)
+        variant_point = DesignPoint.make(tiles, par=4, pipeline="no-fusion")
+        assert session.compile_point(bench.build(), default_point, bindings).report.pipeline == (
+            "default"
+        )
+        assert session.compile_point(bench.build(), variant_point, bindings).report.pipeline == (
+            "no-fusion"
+        )
+
+    def test_warm_recompile_hits_pass_memo(self):
+        bench, bindings, config = _small_workload()
+        session = Session(cache=AnalysisCache())
+        session.compile(bench.build(), config, bindings)
+        warm = session.compile(bench.build(), config, bindings)
+        transform_records = [
+            record
+            for record in warm.report.records
+            if record.name not in ("generate-hardware", "estimate-area")
+        ]
+        assert all(record.cached for record in transform_records)
+
+    def test_pass_totals_aggregate_across_compiles(self):
+        bench, bindings, config = _small_workload()
+        session = Session(cache=AnalysisCache())
+        session.compile(bench.build(), config, bindings)
+        session.compile(bench.build(), config, bindings)
+        assert session.pass_totals["strip-mine"]["runs"] == 2
+        assert session.pass_totals["strip-mine"]["cache_hits"] == 1
+        assert "strip-mine" in session.pass_summary()
+
+    def test_reports_are_bounded(self):
+        bench, bindings, config = _small_workload()
+        session = Session(cache=AnalysisCache(), keep_reports=2)
+        for _ in range(4):
+            session.compile(bench.build(), config, bindings)
+        assert len(session.reports) == 2
+        assert session.compilations == 4
+
+
+class TestClearCaches:
+    def test_cleared_session_recompiles_cold(self):
+        bench, bindings, config = _small_workload()
+        session = Session()
+        session.compile(bench.build(), config, bindings)
+        warm = session.compile(bench.build(), config, bindings)
+        assert warm.report.cache_hits > 0
+
+        session.clear_caches()
+        cold = session.compile(bench.build(), config, bindings)
+        assert cold.report.cache_hits == 0
+
+    def test_clear_compilation_caches_resets_disk_state(self, tmp_path):
+        bench, bindings, config = _small_workload()
+        session = Session()
+        store = tmp_path / "analysis.pkl"
+        session.compile(bench.build(), config, bindings)
+        assert ANALYSIS_CACHE.save_disk(store)
+        # Clean against the store: a dirty-gated save is skipped.
+        assert not ANALYSIS_CACHE.save_disk(store, only_if_dirty=True)
+
+        compiler.clear_compilation_caches()
+        assert not ANALYSIS_CACHE.dirty
+        # The cleared cache recompiles cold...
+        cold = session.compile(bench.build(), config, bindings)
+        assert cold.report.cache_hits == 0
+        # ...and no longer considers itself clean against the old store, so
+        # the dirty-gated save writes the fresh state instead of skipping.
+        assert ANALYSIS_CACHE.save_disk(store, only_if_dirty=True)
+
+
+class TestDeprecatedShims:
+    def test_compile_program_warns_exactly_once(self):
+        bench, bindings, config = _small_workload()
+        compiler._reset_deprecation_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            compiler.compile_program(bench.build(), config, bindings)
+            compiler.compile_program(bench.build(), config, bindings)
+        messages = [
+            w
+            for w in caught
+            if issubclass(w.category, DeprecationWarning) and "compile_program" in str(w.message)
+        ]
+        assert len(messages) == 1
+
+    def test_compile_point_warns_exactly_once(self):
+        bench, bindings, _ = _small_workload()
+        point = DesignPoint.make({name: 2 for name in get_benchmark("gemm").tile_sizes}, par=4)
+        compiler._reset_deprecation_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            compiler.compile_point(bench.build(), point, bindings)
+            compiler.compile_point(bench.build(), point, bindings)
+        messages = [
+            w
+            for w in caught
+            if issubclass(w.category, DeprecationWarning) and "compile_point" in str(w.message)
+        ]
+        assert len(messages) == 1
+
+    def test_run_fusion_false_maps_to_pipeline_without_fusion(self):
+        bench, bindings, config = _small_workload()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim = compiler.compile_program(bench.build(), config, bindings, run_fusion=False)
+        session = Session()
+        direct = session.compile(
+            bench.build(), config, bindings, pipeline=session.pipeline.without("fusion")
+        )
+        assert shim.tiled_program.body.structural_hash() == (
+            direct.tiled_program.body.structural_hash()
+        )
+        assert "fusion" not in [record.name for record in shim.report.records]
