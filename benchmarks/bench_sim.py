@@ -1,0 +1,166 @@
+"""E8 — cycle backends: analytical vs event wall-clock and discrepancy.
+
+For every benchmark of Table 5 (or the two fastest with ``--smoke``) the
+driver compiles the three Figure 7 configurations, times both schedule
+backends on the resulting schedules, and records
+
+* the wall-clock of each backend (the analytical closed forms are the DSE
+  inner loop; the event simulator pays for its explicit timeline), and
+* the per-configuration cycle discrepancy (event / analytical), with the
+  event model's buffer-stall and DRAM-contention accounting.
+
+Asserts the documented agreement bound
+(:data:`repro.schedule.compare.DEFAULT_TOLERANCE`) on every metapipelined
+configuration — anchored by the calibration benchmarks outerprod and
+tpchq6 — and exact agreement (to float association) everywhere the event
+timeline has no overlap to model.  The record is appended to
+``BENCH_sim.json``.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_sim.py [--smoke]``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps import all_benchmarks
+from repro.config import BASELINE, CompileConfig
+from repro.pipeline import Session
+from repro.schedule import DEFAULT_TOLERANCE, discrepancy_table, get_backend
+from repro.schedule.compare import CycleDiscrepancy
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_sim.json"
+
+#: The two fastest benchmarks (fewest IR nodes / smallest schedules) — the
+#: CI smoke subset, which also covers both calibration anchors.
+SMOKE_BENCHMARKS = ("outerprod", "tpchq6")
+
+SIZES = {
+    "outerprod": {"m": 4096, "n": 4096},
+    "sumrows": {"m": 16384, "n": 256},
+    "gemm": {"m": 512, "n": 512, "p": 512},
+    "tpchq6": {"n": 1 << 20},
+    "gda": {"n": 16384, "d": 32},
+    "kmeans": {"n": 32768, "k": 32, "d": 32},
+}
+
+#: Configurations with no metapipelined overlap must agree to float noise.
+EXACT_TOLERANCE = 1e-6
+
+
+def _configs(bench):
+    tiles = dict(bench.tile_sizes)
+    pars = dict(bench.par_factors)
+    return {
+        "baseline": BASELINE,
+        "tiling": CompileConfig(tiling=True, tile_sizes=tiles, par_factors=pars),
+        "tiling+metapipelining": CompileConfig(
+            tiling=True, metapipelining=True, tile_sizes=tiles, par_factors=pars
+        ),
+    }
+
+
+def _time_backend(backend, schedule, repeats: int = 3):
+    """Best-of-N wall-clock of one backend on one schedule, plus its result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = backend.run(schedule)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def run(benchmarks) -> dict:
+    session = Session()
+    rows: dict[str, CycleDiscrepancy] = {}
+    record: dict = {"tolerance": DEFAULT_TOLERANCE, "benchmarks": {}}
+    analytical_seconds = 0.0
+    event_seconds = 0.0
+
+    for bench in benchmarks:
+        bindings = bench.bindings(SIZES[bench.name], np.random.default_rng(3))
+        par = bench.par_factors.get("inner", 16)
+        per_config = {}
+        for label, config in _configs(bench).items():
+            compiled = session.compile(bench.build(), config, bindings, par=par)
+            schedule = compiled.schedule
+            t_ana, ana = _time_backend(get_backend("analytical"), schedule)
+            t_ev, ev = _time_backend(get_backend("event"), schedule)
+            analytical_seconds += t_ana
+            event_seconds += t_ev
+            discrepancy = CycleDiscrepancy(
+                name=schedule.name,
+                config_label=label,
+                analytical_cycles=ana.cycles,
+                event_cycles=ev.cycles,
+                stall_cycles=ev.stall_cycles,
+                contention_cycles=ev.contention_cycles,
+            )
+            rows[f"{bench.name}/{label}"] = discrepancy
+            per_config[label] = {
+                "analytical_cycles": ana.cycles,
+                "event_cycles": ev.cycles,
+                "ratio": round(discrepancy.ratio, 4),
+                "stall_cycles": ev.stall_cycles,
+                "contention_cycles": ev.contention_cycles,
+                "seconds_analytical": round(t_ana, 6),
+                "seconds_event": round(t_ev, 6),
+            }
+            if label == "tiling+metapipelining":
+                assert discrepancy.within(DEFAULT_TOLERANCE), (
+                    f"{bench.name}/{label}: event/analytical ratio "
+                    f"{discrepancy.ratio:.3f} outside the documented "
+                    f"±{DEFAULT_TOLERANCE:.0%} tolerance"
+                )
+            else:
+                assert discrepancy.relative_error < EXACT_TOLERANCE, (
+                    f"{bench.name}/{label}: backends disagree "
+                    f"({discrepancy.ratio:.6f}) on an overlap-free design"
+                )
+        record["benchmarks"][bench.name] = per_config
+
+    print(discrepancy_table(rows))
+    slowdown = event_seconds / analytical_seconds if analytical_seconds else float("inf")
+    print(
+        f"[sim bench] backend wall-clock over {len(rows)} schedules: "
+        f"analytical {analytical_seconds * 1e3:.1f} ms, "
+        f"event {event_seconds * 1e3:.1f} ms ({slowdown:.1f}x slower)"
+    )
+    record["seconds_analytical_total"] = round(analytical_seconds, 6)
+    record["seconds_event_total"] = round(event_seconds, 6)
+    record["event_slowdown"] = round(slowdown, 2)
+    return record
+
+
+def main(argv) -> int:
+    smoke = "--smoke" in argv
+    names = set(SMOKE_BENCHMARKS) if smoke else None
+    benchmarks = [
+        bench for bench in all_benchmarks() if names is None or bench.name in names
+    ]
+    record = run(benchmarks)
+    record["smoke"] = smoke
+
+    history = []
+    if RESULT_PATH.exists():
+        try:
+            history = json.loads(RESULT_PATH.read_text())
+            if not isinstance(history, list):
+                history = [history]
+        except json.JSONDecodeError:
+            history = []
+    history.append(record)
+    RESULT_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"[sim bench] appended record to {RESULT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -4,9 +4,9 @@ inspect the pass pipeline, simulate the hardware.
 Run with:  python examples/quickstart.py
 
 The compiler's entry point is the instrumented session object
-(``repro.pipeline.Session``); the old module-level
-``repro.compiler.compile_program`` still works but is deprecated — see the
-"Architecture" section of the README for the migration note.
+(``repro.pipeline.Session``) — see the "Architecture" section of the README
+for the compilation flow, including the Schedule layer every backend
+(cycle simulation, area, codegen) consumes.
 """
 
 from __future__ import annotations

@@ -12,9 +12,14 @@ The package implements the full compiler flow described in the paper:
   scheduling, memory-traffic and area models.
 * :mod:`repro.hw` — the hardware template library of Table 4 and the
   IR→template generator.
-* :mod:`repro.codegen` — MaxJ-like HGL emission and design reports.
-* :mod:`repro.sim` — the transaction-level performance simulator standing in
-  for the Maxeler toolchain + Stratix V board.
+* :mod:`repro.schedule` — the explicit metapipeline Schedule IR lowered
+  from every design; the one object the cycle backends, area model,
+  traffic inventory and code generator consume.
+* :mod:`repro.codegen` — MaxJ-like HGL emission (from the Schedule) and
+  design reports.
+* :mod:`repro.sim` — the cycle simulator standing in for the Maxeler
+  toolchain + Stratix V board: analytical and event-driven backends over
+  the Schedule.
 * :mod:`repro.apps` — the six benchmarks of Table 5.
 * :mod:`repro.evaluation` — the harness regenerating Figure 7 and Figure 5c.
 """

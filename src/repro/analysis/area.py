@@ -39,7 +39,14 @@ from repro.hw.templates import (
 )
 from repro.target.device import FPGADevice
 
-__all__ = ["AreaEstimate", "AreaReport", "area_of_module", "estimate_area", "relative_area"]
+__all__ = [
+    "AreaEstimate",
+    "AreaReport",
+    "area_of_module",
+    "estimate_area",
+    "estimate_area_of_schedule",
+    "relative_area",
+]
 
 
 @dataclass
@@ -176,23 +183,39 @@ class AreaReport:
         )
 
 
-def estimate_area(design: HardwareDesign) -> AreaReport:
-    """Aggregate the resource usage of every module in a design."""
+def estimate_area_of_schedule(schedule) -> AreaReport:
+    """Aggregate resource usage from a :class:`~repro.schedule.ir.Schedule`.
+
+    The schedule's module inventory (stage tree in preorder, then the
+    memory inventory) lists exactly the hardware the design instantiates,
+    so costing the schedule and costing the design graph give identical
+    totals — but the schedule is the one object the cycle backends and the
+    MaxJ emitter also consume.
+    """
     total = AreaEstimate()
     by_kind: Dict[str, AreaEstimate] = {}
-    for module in design.all_modules():
+    for module in schedule.modules():
         estimate = area_of_module(module)
         total = total + estimate
         if module.kind not in by_kind:
             by_kind[module.kind] = AreaEstimate()
         by_kind[module.kind] = by_kind[module.kind] + estimate
     return AreaReport(
-        design_name=design.name,
-        config_label=design.config.label,
+        design_name=schedule.name,
+        config_label=schedule.config_label,
         total=total,
         by_kind=by_kind,
-        device=design.board.device,
+        device=schedule.board.device,
     )
+
+
+def estimate_area(design: HardwareDesign) -> AreaReport:
+    """Aggregate the resource usage of every module in a design.
+
+    Lowers the design to its (cached) schedule first: the area inventory is
+    derived from the Schedule IR, not from re-walking the design graph.
+    """
+    return estimate_area_of_schedule(design.schedule())
 
 
 def relative_area(baseline: AreaReport, optimized: AreaReport) -> Dict[str, float]:

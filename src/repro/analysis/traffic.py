@@ -43,7 +43,15 @@ from repro.ppl.ir import (
 from repro.ppl.program import Program
 from repro.ppl.traversal import collect
 
-__all__ = ["TrafficEntry", "TrafficReport", "minimum_reads", "analyze_traffic"]
+__all__ = [
+    "TrafficEntry",
+    "TrafficReport",
+    "TransferInventory",
+    "TransferRecord",
+    "minimum_reads",
+    "analyze_traffic",
+    "schedule_traffic",
+]
 
 
 @dataclass
@@ -242,6 +250,143 @@ def analyze_traffic(
         report.label = label
         reports[label] = report
     return reports
+
+
+# ---------------------------------------------------------------------------
+# Schedule-derived transfer inventory
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TransferRecord:
+    """One transfer or stream site of a schedule, with its total traffic.
+
+    ``trips`` is the product of the iteration counts of every stage group
+    enclosing the site — how many times the hardware issues the transfer —
+    and ``bursts`` the total DRAM bursts across all trips (zero for
+    baseline streams, whose burst behaviour is folded into their derated
+    efficiency).
+    """
+
+    name: str
+    kind: str  # "load" / "store" / "stream"
+    source: str
+    bytes_per_invocation: int
+    trips: int
+    bursts: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_per_invocation * self.trips
+
+
+@dataclass
+class TransferInventory:
+    """Every DRAM transfer of one schedule, derived from the Schedule IR.
+
+    This replaces re-walking the design graph: the same schedule object the
+    cycle backends time and the MaxJ emitter renders is inventoried here,
+    so a transfer that is simulated is — by construction — a transfer that
+    is counted.
+    """
+
+    label: str
+    records: List[TransferRecord] = field(default_factory=list)
+
+    @property
+    def read_bytes(self) -> int:
+        return sum(r.total_bytes for r in self.records if r.kind in ("load", "stream"))
+
+    @property
+    def write_bytes(self) -> int:
+        return sum(r.total_bytes for r in self.records if r.kind == "store")
+
+    @property
+    def total_bursts(self) -> int:
+        return sum(r.bursts for r in self.records)
+
+    def by_source(self) -> Dict[str, int]:
+        """Total transferred bytes per source array, sorted by name."""
+        totals: Dict[str, int] = {}
+        for record in self.records:
+            key = record.source or record.name
+            totals[key] = totals.get(key, 0) + record.total_bytes
+        return dict(sorted(totals.items()))
+
+    def summary(self) -> str:
+        header = f"{'transfer':<28} {'kind':<7} {'bytes/inv':>12} {'trips':>8} {'total MB':>10}"
+        lines = [f"transfer inventory for {self.label}", header, "-" * len(header)]
+        for record in self.records:
+            lines.append(
+                f"{record.name:<28} {record.kind:<7} {record.bytes_per_invocation:>12,} "
+                f"{record.trips:>8,} {record.total_bytes / 1e6:>10.2f}"
+            )
+        return "\n".join(lines)
+
+
+def schedule_traffic(schedule) -> TransferInventory:
+    """Inventory every DRAM transfer of a schedule with its trip counts.
+
+    Walks the Schedule IR once, multiplying the iteration counts of the
+    enclosing stage groups down to each transfer / stream leaf.  The
+    resulting read traffic matches the design's accounted
+    ``main_memory_read_bytes`` for tiled transfers (accesses served by
+    caches are accounted by the generator but have no transfer unit, so the
+    inventory is a lower bound in their presence).  Baseline streams split
+    their output-write portion into a separate ``store`` record; note the
+    design's *read* counter historically folds that store traffic in (the
+    write stream shares the streaming bandwidth), so for baseline designs
+    ``read_bytes + write_bytes`` — not ``read_bytes`` alone — matches the
+    design's read accounting.
+    """
+    from repro.schedule.ir import StageGroup, StreamNode, TransferNode
+
+    inventory = TransferInventory(label=schedule.name)
+
+    def visit(node, trips: int) -> None:
+        if isinstance(node, TransferNode):
+            inventory.records.append(
+                TransferRecord(
+                    name=node.name,
+                    kind=node.direction,
+                    source=node.source,
+                    bytes_per_invocation=node.bytes_per_invocation,
+                    trips=trips,
+                    bursts=node.bursts * trips,
+                )
+            )
+            return
+        if isinstance(node, StreamNode):
+            inventory.records.append(
+                TransferRecord(
+                    name=node.name,
+                    kind="stream",
+                    source=node.source,
+                    bytes_per_invocation=node.read_bytes,
+                    trips=trips,
+                    bursts=0,
+                )
+            )
+            if node.store_bytes:
+                # The final kernel's stream carries the result store along
+                # with its reads; split it out so read/write totals are true.
+                inventory.records.append(
+                    TransferRecord(
+                        name=f"{node.name}_store",
+                        kind="store",
+                        source=node.source,
+                        bytes_per_invocation=node.store_bytes,
+                        trips=trips,
+                        bursts=0,
+                    )
+                )
+            return
+        if isinstance(node, StageGroup):
+            for stage in node.stages:
+                visit(stage, trips * max(1, node.iterations))
+
+    visit(schedule.root, 1)
+    return inventory
 
 
 def intermediate_storage_words(program: Program, bindings: Mapping[str, object]) -> int:

@@ -1,10 +1,15 @@
-"""MaxJ-style hardware generation language (HGL) emission.
+"""MaxJ-style hardware generation language (HGL) emission from the Schedule.
 
 The paper's compiler emits MaxJ — a Java-based HGL whose compiler performs
 low-level pipelining — by instantiating one MaxJ class per hardware template.
 Since the Maxeler toolchain is proprietary, this module emits equivalent
-Java-like text from the same template graph: one ``Kernel`` class per design
-with one instantiation statement per template and controller.  The output is
+Java-like text; the emission source is the design's
+:class:`~repro.schedule.ir.Schedule`, the same object the cycle backends
+time and the area model inventories, so the structure that is simulated is
+— by construction — the structure that is emitted.  Memories render from
+the schedule's :class:`~repro.schedule.ir.MemoryNode` inventory, the
+datapath and control from the stage tree (compute / transfer / stream
+leaves inside sequential / parallel / metapipeline groups).  The output is
 purely textual (it is not compiled), but it makes the template structure of
 Table 4 concrete and reviewable, and the tests check that every module of a
 design appears in the generated code.
@@ -14,25 +19,17 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.hw.controllers import (
-    Controller,
-    MetapipelineController,
-    ParallelController,
-    SequentialController,
-)
 from repro.hw.design import HardwareDesign
-from repro.hw.templates import (
-    CAM,
-    Buffer,
-    Cache,
-    HardwareModule,
-    MainMemoryStream,
-    ParallelFIFO,
-    ReductionTree,
-    ScalarPipe,
-    TileLoad,
-    TileStore,
-    VectorUnit,
+from repro.schedule.ir import (
+    ComputeNode,
+    MemoryNode,
+    MetapipelineSchedule,
+    ParallelSchedule,
+    Schedule,
+    ScheduleNode,
+    StageGroup,
+    StreamNode,
+    TransferNode,
 )
 
 __all__ = ["generate_maxj"]
@@ -40,80 +37,93 @@ __all__ = ["generate_maxj"]
 _INDENT = "    "
 
 
-def _instantiate(module: HardwareModule) -> str:
-    if isinstance(module, Buffer):
-        kind = "DoubleBuffer" if module.double else "Buffer"
+def _instantiate_memory(memory: MemoryNode) -> str:
+    module = memory.module
+    if memory.kind == "Buffer":
+        kind = "DoubleBuffer" if memory.double else "Buffer"
         return (
-            f'{kind} {module.name} = mem.alloc("{module.source or module.name}", '
-            f"depth={module.depth_words}, width={module.width_bits}, banks={module.banks});"
+            f'{kind} {memory.name} = mem.alloc("{memory.source or memory.name}", '
+            f"depth={memory.depth_words}, width={module.width_bits}, banks={memory.banks});"
         )
-    if isinstance(module, Cache):
+    if memory.kind == "Cache":
         return (
-            f'Cache {module.name} = mem.cache("{module.source}", '
+            f'Cache {memory.name} = mem.cache("{memory.source}", '
             f"capacity={module.capacity_words}, line={module.line_words});"
         )
-    if isinstance(module, CAM):
-        return f"CAM {module.name} = mem.cam(entries={module.entries}, keyBits={module.key_bits});"
-    if isinstance(module, ParallelFIFO):
-        return f"ParallelFIFO {module.name} = mem.fifo(lanes={module.lanes}, depth={module.depth_words});"
-    if isinstance(module, VectorUnit):
-        return (
-            f"VectorUnit {module.name} = pipe.vector(lanes={module.lanes}, "
-            f"type=dfeFloat(8, 24));"
-        )
-    if isinstance(module, ReductionTree):
-        return (
-            f"ReductionTree {module.name} = pipe.reduceTree(lanes={module.lanes}, "
-            f"depth={module.tree_depth}, type=dfeFloat(8, 24));"
-        )
-    if isinstance(module, ScalarPipe):
-        return f"ScalarPipe {module.name} = pipe.scalar(ops={module.ops_per_element:.0f});"
-    if isinstance(module, TileLoad):
-        return (
-            f'TileLoad {module.name} = lmem.tileLoad("{module.source}", '
-            f'dest={module.destination or "buffer"}, bytes={module.bytes_per_invocation});'
-        )
-    if isinstance(module, TileStore):
-        return (
-            f'TileStore {module.name} = lmem.tileStore("{module.destination}", '
-            f"src={module.source}, bytes={module.bytes_per_invocation});"
-        )
-    if isinstance(module, MainMemoryStream):
-        return (
-            f'Stream {module.name} = lmem.stream("{module.source}", '
-            f"bytes={module.total_bytes}, requests={module.requests});"
-        )
-    return f"// unhandled module {module.name} ({module.kind})"
+    if memory.kind == "CAM":
+        return f"CAM {memory.name} = mem.cam(entries={module.entries}, keyBits={module.key_bits});"
+    if memory.kind == "ParallelFIFO":
+        return f"ParallelFIFO {memory.name} = mem.fifo(lanes={module.lanes}, depth={memory.depth_words});"
+    return f"// unhandled memory {memory.name} ({memory.kind})"
 
 
-def _controller_call(controller: Controller) -> str:
-    stage_names = ", ".join(stage.name for stage in controller.stages)
-    if isinstance(controller, MetapipelineController):
+def _instantiate_leaf(node: ScheduleNode) -> str:
+    if isinstance(node, ComputeNode):
+        if node.unit == "vector":
+            return (
+                f"VectorUnit {node.name} = pipe.vector(lanes={node.lanes}, "
+                f"type=dfeFloat(8, 24));"
+            )
+        if node.unit == "reduction":
+            return (
+                f"ReductionTree {node.name} = pipe.reduceTree(lanes={node.lanes}, "
+                f"depth={node.tree_depth}, type=dfeFloat(8, 24));"
+            )
+        return f"ScalarPipe {node.name} = pipe.scalar(ops={node.ops_per_element:.0f});"
+    if isinstance(node, TransferNode):
+        if node.direction == "load":
+            return (
+                f'TileLoad {node.name} = lmem.tileLoad("{node.source}", '
+                f'dest={node.destination or "buffer"}, bytes={node.bytes_per_invocation});'
+            )
+        return (
+            f'TileStore {node.name} = lmem.tileStore("{node.destination}", '
+            f"src={node.source}, bytes={node.bytes_per_invocation});"
+        )
+    if isinstance(node, StreamNode):
+        return (
+            f'Stream {node.name} = lmem.stream("{node.source}", '
+            f"bytes={node.total_bytes}, requests={node.requests});"
+        )
+    if type(node) is ScheduleNode and node.module is not None:
+        # A memory template placed in the stage tree (hand-built designs):
+        # untimed, but its instantiation still belongs in the kernel.
+        from repro.schedule.lower import lower_memory
+
+        return _instantiate_memory(lower_memory(node.module))
+    return f"// unhandled node {node.name} ({node.kind})"
+
+
+def _controller_call(group: StageGroup) -> str:
+    stage_names = ", ".join(stage.name for stage in group.stages)
+    if isinstance(group, MetapipelineSchedule):
         kind = "Metapipeline"
-    elif isinstance(controller, ParallelController):
+    elif isinstance(group, ParallelSchedule):
         kind = "Parallel"
     else:
         kind = "Sequential"
     return (
-        f"{kind} {controller.name} = control.{kind.lower()}("
-        f"iterations={controller.iterations}, stages=[{stage_names}]);"
+        f"{kind} {group.name} = control.{kind.lower()}("
+        f"iterations={group.iterations}, stages=[{stage_names}]);"
     )
 
 
-def _emit_controller(controller: Controller, lines: List[str], depth: int) -> None:
+def _emit_group(group: StageGroup, lines: List[str], depth: int) -> None:
     pad = _INDENT * depth
-    for stage in controller.stages:
-        if isinstance(stage, Controller):
-            _emit_controller(stage, lines, depth)
+    for stage in group.stages:
+        if isinstance(stage, StageGroup):
+            _emit_group(stage, lines, depth)
         else:
-            lines.append(pad + _instantiate(stage))
-    lines.append(pad + _controller_call(controller))
+            lines.append(pad + _instantiate_leaf(stage))
+    lines.append(pad + _controller_call(group))
 
 
 def generate_maxj(design) -> str:
-    """Render a hardware design as a MaxJ-like kernel class.
+    """Render a design's schedule as a MaxJ-like kernel class.
 
-    Accepts either a :class:`~repro.hw.design.HardwareDesign` or a whole
+    Accepts a :class:`~repro.schedule.ir.Schedule`, a
+    :class:`~repro.hw.design.HardwareDesign` (lowered to its cached
+    schedule) or a whole
     :class:`~repro.pipeline.session.CompilationResult`; the latter is the
     natural hand-off from a :class:`~repro.pipeline.session.CompilerSession`
     compile, and its per-pass :class:`PipelineReport` (when present) is
@@ -121,14 +131,23 @@ def generate_maxj(design) -> str:
     produced the design.
     """
     report = None
-    if not isinstance(design, HardwareDesign):
+    if isinstance(design, Schedule):
+        schedule = design
+    elif isinstance(design, HardwareDesign):
+        schedule = design.schedule()
+    else:
         # A CompilationResult (or anything shaped like one).
         report = getattr(design, "report", None)
-        design = design.design
-    class_name = "".join(part.capitalize() for part in design.program_name.split("_")) + "Kernel"
+        schedule = design.design.schedule()
+    class_name = (
+        "".join(part.capitalize() for part in schedule.program_name.split("_")) + "Kernel"
+    )
     lines: List[str] = [
         "// Generated by repro.codegen.maxj — MaxJ-style HGL",
-        f"// design: {design.name}  (configuration: {design.config.label})",
+        f"// design: {schedule.name}  (configuration: {schedule.config_label})",
+        f"// schedule: depth {schedule.depth()}, "
+        f"{len(schedule.transfers)} transfers, "
+        f"{len(schedule.double_buffers)} double buffers",
     ]
     if report is not None:
         lines.append(f"// pipeline: {report.pipeline} ({report.total_seconds * 1e3:.2f} ms)")
@@ -148,13 +167,16 @@ def generate_maxj(design) -> str:
         "",
         _INDENT * 2 + "// --- on-chip memories -------------------------------------",
     ]
-    for memory in design.memories:
-        lines.append(_INDENT * 2 + _instantiate(memory))
+    for memory in schedule.memories:
+        lines.append(_INDENT * 2 + _instantiate_memory(memory))
     lines.append("")
     lines.append(_INDENT * 2 + "// --- datapath and control ----------------------------------")
-    _emit_controller(design.top, lines, 2)
+    if isinstance(schedule.root, StageGroup):
+        _emit_group(schedule.root, lines, 2)
+    else:  # a single-leaf schedule (hand-built designs)
+        lines.append(_INDENT * 2 + _instantiate_leaf(schedule.root))
     lines.append("")
-    for note in design.notes:
+    for note in schedule.notes:
         lines.append(_INDENT * 2 + f"// note: {note}")
     lines.append(_INDENT + "}")
     lines.append("}")

@@ -77,7 +77,9 @@ _MISSING = object()
 #: stores carrying a different version are ignored on load.
 #: v3: point-result keys gained the pipeline-variant signature and tiling
 #: moved to per-pass ``pipeline_pass`` memoisation.
-CACHE_VERSION = 3
+#: v4: point-result keys gained the ``cycle_model`` backend and pipeline
+#: signatures gained the ``build-schedule`` terminal pass.
+CACHE_VERSION = 4
 
 #: Default per-table LRU bound of the process-global cache.  Generous enough
 #: that single sweeps never evict, small enough that week-long CI processes

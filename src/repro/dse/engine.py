@@ -158,8 +158,13 @@ def evaluate_config(
     model: Optional[PerformanceModel] = None,
     session: Optional[CompilerSession] = None,
     pipeline: Union[str, Pipeline, None] = None,
+    cycle_model: str = "analytical",
 ) -> EvaluatedConfig:
     """Compile and simulate one configuration, keeping the artifacts.
+
+    ``cycle_model`` picks the schedule backend the timing comes from:
+    ``"analytical"`` (closed forms, the default) or ``"event"`` (the
+    event-driven simulator with overlap, stalls and contention).
 
     The compilation runs through a :class:`~repro.pipeline.session.CompilerSession`
     — pass ``session`` to share one across calls (the Figure 7 harness and
@@ -181,7 +186,7 @@ def evaluate_config(
             "drop the board argument or build the session for it"
         )
     compilation = session.compile(program, config, bindings, par=par, pipeline=pipeline)
-    simulation = session.simulate(compilation, model)
+    simulation = session.simulate(compilation, model, cycle_model=cycle_model)
     return EvaluatedConfig(label=config.label, compilation=compilation, simulation=simulation)
 
 
@@ -207,6 +212,7 @@ def _point_result_key(
     board: Board,
     model: Optional[PerformanceModel],
     pipeline_signature: Tuple,
+    cycle_model: str = "analytical",
 ) -> Optional[Tuple]:
     """Cross-process cache key for one whole point evaluation, or None.
 
@@ -234,6 +240,7 @@ def _point_result_key(
         point.par,
         point.metapipelining,
         pipeline_signature,
+        cycle_model,
         astuple(board),
         astuple(model) if model is not None else (),
     )
@@ -246,6 +253,7 @@ def evaluate_point(
     board: Board = DEFAULT_BOARD,
     model: Optional[PerformanceModel] = None,
     session: Optional[CompilerSession] = None,
+    cycle_model: str = "analytical",
 ) -> PointResult:
     """Evaluate one design point to its scalar (cycles, area) outcome.
 
@@ -278,6 +286,7 @@ def evaluate_point(
             model=model,
             session=session,
             pipeline=point.pipeline,
+            cycle_model=cycle_model,
         )
         area = evaluated.compilation.area
         design = evaluated.compilation.design
@@ -301,7 +310,9 @@ def evaluate_point(
 
     if not ANALYSIS_CACHE.enabled:
         return compute()
-    key = _point_result_key(program, bindings, point, board, model, pipeline_signature)
+    key = _point_result_key(
+        program, bindings, point, board, model, pipeline_signature, cycle_model
+    )
     if key is None:
         return compute()
     cached = ANALYSIS_CACHE.memoize("point_results", key, compute)
@@ -318,6 +329,7 @@ def _seed_point_results(
     points: Sequence[DesignPoint],
     results: Sequence[PointResult],
     session: Optional[CompilerSession] = None,
+    cycle_model: str = "analytical",
 ) -> None:
     """Insert pool-computed evaluations into this process's cache.
 
@@ -337,7 +349,9 @@ def _seed_point_results(
             signature = _pipeline_signature(session, point.pipeline)
         except ValueError:
             continue  # unregistered variant: never memoise
-        key = _point_result_key(program, bindings, point, board, model, signature)
+        key = _point_result_key(
+            program, bindings, point, board, model, signature, cycle_model
+        )
         if key is not None:
             ANALYSIS_CACHE.put("point_results", key, result)
 
@@ -363,7 +377,11 @@ _WORKER_STATE: Dict[str, object] = {}
 
 
 def _init_worker(
-    specs: Dict[str, Tuple[Dict[str, int], int]], board, model, memoize: bool = True
+    specs: Dict[str, Tuple[Dict[str, int], int]],
+    board,
+    model,
+    memoize: bool = True,
+    cycle_model: str = "analytical",
 ) -> None:
     """Initialise one pool worker for a set of benchmarks.
 
@@ -374,6 +392,7 @@ def _init_worker(
     _WORKER_STATE["specs"] = dict(specs)
     _WORKER_STATE["board"] = board
     _WORKER_STATE["model"] = model
+    _WORKER_STATE["cycle_model"] = cycle_model
     _WORKER_STATE["programs"] = {}
     # One session per worker: forked workers inherit the parent's warm
     # analysis cache copy-on-write, and the session gives every evaluation
@@ -403,6 +422,7 @@ def _evaluate_point_task(task: Tuple[str, DesignPoint]) -> PointResult:
         board=_WORKER_STATE["board"],
         model=_WORKER_STATE["model"],
         session=_WORKER_STATE["session"],
+        cycle_model=_WORKER_STATE.get("cycle_model", "analytical"),
     )
 
 
@@ -457,6 +477,7 @@ def explore(
     eval_fraction: Optional[float] = None,
     search_seed: int = 0,
     disk_cache: Optional[object] = None,
+    cycle_model: str = "analytical",
 ) -> ExplorationResult:
     """Explore a benchmark's design space and return Pareto-ranked results.
 
@@ -493,6 +514,10 @@ def explore(
         disk_cache: path of a persisted analysis store; loaded before and
             saved after the run, so repeated sweeps across processes reuse
             tilings and whole point evaluations.
+        cycle_model: schedule backend scoring each point —
+            ``"analytical"`` (closed forms, the default) or ``"event"``
+            (event-driven, with stage overlap / stalls / contention).
+            Memoised point results are keyed per backend.
     """
     from repro.dse.search import get_strategy, run_search
 
@@ -537,7 +562,13 @@ def explore(
         return _search(
             lambda points: [
                 evaluate_point(
-                    program, bindings, point, board=board, model=model, session=session
+                    program,
+                    bindings,
+                    point,
+                    board=board,
+                    model=model,
+                    session=session,
+                    cycle_model=cycle_model,
                 )
                 for point in points
             ]
@@ -552,14 +583,21 @@ def explore(
             )
             if memoize:
                 _seed_point_results(
-                    program, bindings, board, model, points, results, session=session
+                    program,
+                    bindings,
+                    board,
+                    model,
+                    points,
+                    results,
+                    session=session,
+                    cycle_model=cycle_model,
                 )
             return results
 
         with pool_context().Pool(
             processes=workers,
             initializer=_init_worker,
-            initargs=(specs, board, model, memoize),
+            initargs=(specs, board, model, memoize, cycle_model),
         ) as pool:
             return _search(evaluate)
 
@@ -640,6 +678,7 @@ class MultiBenchmarkExplorer:
         eval_fraction: Optional[float] = None,
         max_evaluations: Optional[int] = None,
         disk_cache: Optional[object] = None,
+        cycle_model: str = "analytical",
     ) -> None:
         self.benchmarks = [
             get_benchmark(bench) if isinstance(bench, str) else bench for bench in benchmarks
@@ -656,6 +695,7 @@ class MultiBenchmarkExplorer:
         self.eval_fraction = eval_fraction
         self.max_evaluations = max_evaluations
         self.disk_cache = disk_cache
+        self.cycle_model = cycle_model
 
     def _build_lanes(self) -> List[_Lane]:
         from repro.analysis.estimate import input_shapes
@@ -733,13 +773,14 @@ class MultiBenchmarkExplorer:
                         [point],
                         [result],
                         session=seed_session,
+                        cycle_model=self.cycle_model,
                     )
                 return results
 
             with pool_context().Pool(
                 processes=workers,
                 initializer=_init_worker,
-                initargs=(specs, self.board, self.model, True),
+                initargs=(specs, self.board, self.model, True, self.cycle_model),
             ) as pool:
                 self._drive(lanes, pooled_evaluate, started)
         else:
@@ -783,6 +824,7 @@ class MultiBenchmarkExplorer:
                         board=self.board,
                         model=self.model,
                         session=session,
+                        cycle_model=self.cycle_model,
                     )
                 )
             return out

@@ -15,10 +15,19 @@ benchmarks sharing **one** worker pool through
 :class:`repro.dse.engine.MultiBenchmarkExplorer` when ``dse_shared_pool``
 is set — and reports the best point found as an extra ``dse-best`` column
 in the speedup table.
+
+Timing comes from a schedule backend selected by ``cycle_model``
+(``"analytical"`` — the closed forms, or ``"event"`` — the event-driven
+simulator); ``compare_cycle_models=True`` additionally runs *both*
+backends on every metapipelined design and attaches a per-benchmark
+:class:`~repro.schedule.compare.CycleDiscrepancy`
+(:meth:`Figure7Report.discrepancy_table`), the calibration evidence for
+the analytical model's knobs.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
@@ -32,6 +41,7 @@ from repro.dse.engine import evaluate_config
 from repro.dse.results import PointResult
 from repro.pipeline.pipeline import PipelineReport
 from repro.pipeline.session import CompilationResult, CompilerSession
+from repro.schedule.compare import CycleDiscrepancy, compare_backends, discrepancy_table
 from repro.sim.metrics import SimulationResult, speedup
 from repro.sim.model import PerformanceModel
 from repro.target.device import DEFAULT_BOARD, Board
@@ -77,6 +87,10 @@ class BenchmarkResult:
     dse_best: Optional[PointResult] = None
     dse_strategy: str = ""
     dse_evaluations: int = 0
+    cycle_model: str = "analytical"
+    # Analytical-vs-event comparison per configuration (only populated by
+    # run_benchmark/run_figure7 with compare_cycle_models=True).
+    discrepancies: Dict[str, CycleDiscrepancy] = field(default_factory=dict)
 
     @property
     def speedup_tiling(self) -> float:
@@ -153,6 +167,20 @@ class Figure7Report:
     def as_dict(self) -> Dict[str, Dict[str, float]]:
         return {result.name: result.speedups() for result in self.results}
 
+    def discrepancy_table(self) -> str:
+        """Per-benchmark analytical-vs-event calibration table.
+
+        Only populated when the report was produced with
+        ``run_figure7(compare_cycle_models=True)``.
+        """
+        rows: Dict[str, CycleDiscrepancy] = {}
+        for result in self.results:
+            for label, discrepancy in result.discrepancies.items():
+                rows[f"{result.name}/{label}"] = discrepancy
+        if not rows:
+            return "(no cycle-model comparison recorded; rerun with compare_cycle_models=True)"
+        return discrepancy_table(rows)
+
     def pass_table(self) -> str:
         """Per-pass timing/caching breakdown across every compiled config.
 
@@ -162,7 +190,7 @@ class Figure7Report:
         """
         header = (
             f"{'benchmark':<10} {'config':<24} {'pass':<20} "
-            f"{'time':>10} {'cached':>7} {'delta':>7}"
+            f"{'time':>10} {'budget':>10} {'cached':>7} {'delta':>7}"
         )
         lines = [header, "-" * len(header)]
         for result in self.results:
@@ -173,7 +201,7 @@ class Figure7Report:
                 for record in report.records:
                     lines.append(
                         f"{result.name:<10} {config_result.label:<24} {record.name:<20} "
-                        f"{record.seconds * 1e3:>8.2f}ms "
+                        f"{record.seconds * 1e3:>8.2f}ms {record.budget_label:>10} "
                         f"{'hit' if record.cached else '-':>7} {record.node_delta:>+7}"
                     )
         return "\n".join(lines)
@@ -199,6 +227,8 @@ def run_benchmark(
     par: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
     session: Optional[CompilerSession] = None,
+    cycle_model: str = "analytical",
+    compare_cycle_models: bool = False,
 ) -> BenchmarkResult:
     """Compile and simulate all three configurations of one benchmark.
 
@@ -208,6 +238,11 @@ def run_benchmark(
     share tile sizes — reuse the memoised pipeline-pass results, and all
     three share the warm analysis caches.  Each configuration's
     compilation carries its per-pass :class:`PipelineReport`.
+
+    ``cycle_model`` selects the schedule backend the reported speedups come
+    from; ``compare_cycle_models=True`` additionally runs *both* backends
+    on every configuration's schedule and records the per-configuration
+    :class:`~repro.schedule.compare.CycleDiscrepancy`.
     """
     bench = get_benchmark(name)
     sizes = dict(sizes or bench.default_sizes)
@@ -219,13 +254,25 @@ def run_benchmark(
 
     configs = _configs_for(bench)
     results: Dict[str, ConfigResult] = {}
+    discrepancies: Dict[str, CycleDiscrepancy] = {}
     for label, config in configs.items():
         evaluated = evaluate_config(
-            program, config, bindings, board=board, par=par, model=model, session=session
+            program,
+            config,
+            bindings,
+            board=board,
+            par=par,
+            model=model,
+            session=session,
+            cycle_model=cycle_model,
         )
         results[label] = ConfigResult(
             label=label, compilation=evaluated.compilation, simulation=evaluated.simulation
         )
+        if compare_cycle_models:
+            discrepancies[label] = compare_backends(
+                evaluated.compilation.schedule, model if model is not None else session.model
+            )
 
     baseline_area = results["baseline"].compilation.area
     for label in ("tiling", "tiling+metapipelining"):
@@ -239,12 +286,21 @@ def run_benchmark(
         baseline=results["baseline"],
         tiling=results["tiling"],
         metapipelining=results["tiling+metapipelining"],
+        cycle_model=cycle_model,
+        discrepancies=discrepancies,
     )
 
 
 def _run_benchmark_task(args) -> BenchmarkResult:
-    name, sizes, board, model = args
-    return run_benchmark(name, sizes=sizes, board=board, model=model)
+    name, sizes, board, model, cycle_model, compare_cycle_models = args
+    return run_benchmark(
+        name,
+        sizes=sizes,
+        board=board,
+        model=model,
+        cycle_model=cycle_model,
+        compare_cycle_models=compare_cycle_models,
+    )
 
 
 def run_figure7(
@@ -258,6 +314,8 @@ def run_figure7(
     dse_shared_pool: bool = True,
     dse_disk_cache: Optional[object] = None,
     report_passes: bool = False,
+    cycle_model: str = "analytical",
+    compare_cycle_models: bool = False,
 ) -> Figure7Report:
     """Reproduce Figure 7 across the benchmark suite.
 
@@ -268,10 +326,18 @@ def run_figure7(
     analysis caches (and memoised pipeline passes) across benchmarks.
 
     ``report_passes=True`` keeps every configuration's per-pass
-    :class:`~repro.pipeline.pipeline.PipelineReport` (wall-clock, cache
-    hits, IR node deltas) attached, rendered by
+    :class:`~repro.pipeline.pipeline.PipelineReport` (wall-clock, budget,
+    cache hits, IR node deltas) attached, rendered by
     :meth:`Figure7Report.pass_table`; the default drops the
-    instrumentation to keep result payloads lean.
+    instrumentation to keep result payloads lean.  Passes exceeding their
+    advisory time budget are reported via ``warnings.warn`` and flagged
+    with ``!`` in the table's budget column.
+
+    ``cycle_model`` selects the schedule backend scoring every
+    configuration (``"analytical"`` or ``"event"``);
+    ``compare_cycle_models=True`` runs both backends per configuration and
+    populates :meth:`Figure7Report.discrepancy_table`, the calibration
+    report for the analytical model's knobs.
 
     ``dse_strategy`` additionally searches each benchmark's design space
     (``"exhaustive"``, ``"hill-climb"``, ``"genetic"`` or a
@@ -285,7 +351,10 @@ def run_figure7(
     (CI) skip already-evaluated points.
     """
     names = list(benchmarks) if benchmarks else [bench.name for bench in all_benchmarks()]
-    tasks = [(name, (sizes_override or {}).get(name), board, model) for name in names]
+    tasks = [
+        (name, (sizes_override or {}).get(name), board, model, cycle_model, compare_cycle_models)
+        for name in names
+    ]
     report = Figure7Report()
     if workers and workers > 1 and len(names) > 1:
         from repro.dse.engine import pool_context
@@ -295,10 +364,34 @@ def run_figure7(
     else:
         session = CompilerSession(board=board, model=model)
         report.results = [
-            run_benchmark(name, sizes=sizes, board=board, model=model, session=session)
-            for name, sizes, _, _ in tasks
+            run_benchmark(
+                name,
+                sizes=sizes,
+                board=board,
+                model=model,
+                session=session,
+                cycle_model=cycle_model,
+                compare_cycle_models=compare_cycle_models,
+            )
+            for name, sizes, _, _, _, _ in tasks
         ]
-    if not report_passes:
+    if report_passes:
+        over_budget = sorted(
+            {
+                f"{result.name}/{config_result.label}:{record.name}"
+                for result in report.results
+                for config_result in (result.baseline, result.tiling, result.metapipelining)
+                if config_result.pipeline_report is not None
+                for record in config_result.pipeline_report.over_budget()
+            }
+        )
+        if over_budget:
+            warnings.warn(
+                "passes exceeded their time budget: " + ", ".join(over_budget),
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    else:
         for result in report.results:
             for config_result in (result.baseline, result.tiling, result.metapipelining):
                 config_result.compilation.report = None
@@ -325,6 +418,7 @@ def run_figure7(
                 model=model,
                 eval_fraction=eval_fraction,
                 disk_cache=dse_disk_cache,
+                cycle_model=cycle_model,
             ).run()
         else:
             explorations = {
@@ -337,6 +431,7 @@ def run_figure7(
                     strategy=dse_strategy,
                     eval_fraction=eval_fraction,
                     disk_cache=dse_disk_cache,
+                    cycle_model=cycle_model,
                 )
                 for name in names
             }

@@ -40,6 +40,13 @@ class HardwareDesign:
     def all_modules(self) -> List[HardwareModule]:
         return list(self.top.walk()) + list(self.memories)
 
+    def schedule(self):
+        """The design's (cached) metapipeline schedule — the object every
+        backend consumes: cycle simulation, area, traffic and codegen."""
+        from repro.schedule.lower import build_schedule
+
+        return build_schedule(self)
+
     def modules_of(self, kind: type) -> List[HardwareModule]:
         return [m for m in self.all_modules() if isinstance(m, kind)]
 

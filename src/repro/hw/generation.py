@@ -505,10 +505,12 @@ class HardwareGenerator:
             ops = self._ops(value)
             compute = self._baseline_compute_unit(name, value, ops)
             stages: List[HardwareModule] = [compute]
+            store_bytes = 0
             if position == last_index:
-                traffic_bytes += self._output_words(self.program.body) * WORD_BYTES
+                store_bytes = self._output_words(self.program.body) * WORD_BYTES
+                traffic_bytes += store_bytes
                 self.stored_output = True
-                self.write_bytes += self._output_words(self.program.body) * WORD_BYTES
+                self.write_bytes += store_bytes
             if traffic_bytes:
                 stages.append(
                     MainMemoryStream(
@@ -517,6 +519,7 @@ class HardwareGenerator:
                         requests=int(requests),
                         sequential=True,
                         source=name,
+                        store_bytes=store_bytes,
                     )
                 )
                 self.read_bytes += int(traffic_bytes)

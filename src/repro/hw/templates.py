@@ -217,9 +217,14 @@ class MainMemoryStream(HardwareModule):
     the number of separate command streams issued (one per innermost pattern
     instance), and ``sequential`` whether the stream is unit-stride (burst
     friendly) or strided/random (each access pays a full burst).
+    ``store_bytes`` is the portion of ``total_bytes`` that is output written
+    back to DRAM (the final kernel's stream carries the result store along
+    with its reads; the split only matters to traffic inventories — timing
+    charges the whole stream at the baseline efficiency either way).
     """
 
     total_bytes: int = 0
     requests: int = 1
     sequential: bool = True
     source: str = ""
+    store_bytes: int = 0

@@ -21,9 +21,11 @@ transform orderings alongside tile sizes and parallelism.
 """
 
 from repro.pipeline.passes import (
+    BuildScheduleStage,
     CodeMotionStage,
     CseStage,
     EstimateAreaStage,
+    FixedPointPass,
     FusionStage,
     GenerateHardwareStage,
     InterchangeStage,
@@ -43,11 +45,13 @@ from repro.pipeline.variants import (
 )
 
 __all__ = [
+    "BuildScheduleStage",
     "CodeMotionStage",
     "CompilationResult",
     "CompilerSession",
     "CseStage",
     "EstimateAreaStage",
+    "FixedPointPass",
     "FusionStage",
     "GenerateHardwareStage",
     "InterchangeStage",

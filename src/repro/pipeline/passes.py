@@ -46,6 +46,7 @@ from repro.transforms.strip_mining import StripMiningPass, TileCopyInsertionPass
 __all__ = [
     "PassContext",
     "PipelinePass",
+    "FixedPointPass",
     "FusionStage",
     "StripMineStage",
     "TileCopyStage",
@@ -53,8 +54,13 @@ __all__ = [
     "CodeMotionStage",
     "InterchangeStage",
     "GenerateHardwareStage",
+    "BuildScheduleStage",
     "EstimateAreaStage",
 ]
+
+#: Context key through which a pass reports how many internal iterations it
+#: ran (the fixed-point pass); the pipeline pops it into the pass record.
+PASS_ITERATIONS_KEY = "_pass_iterations"
 
 
 @dataclass
@@ -93,6 +99,13 @@ class PipelinePass:
     """
 
     name: str = "pass"
+
+    #: Wall-clock budget for one run of this pass.  Budgets are surfaced in
+    #: the trade-off reports (``run_figure7(report_passes=True)``) and a
+    #: pass exceeding its budget is flagged there — they are advisory, not
+    #: enforced, but they make compile-time regressions visible next to the
+    #: area/cycle numbers they pay for.
+    budget_seconds: float = 0.050
 
     def __init__(self, name: Optional[str] = None) -> None:
         if name is not None:
@@ -219,6 +232,62 @@ class InterchangeStage(_TilingGatedStage):
         return program
 
 
+class FixedPointPass(PipelinePass):
+    """Rerun a group of cleanup passes until the IR stops changing.
+
+    One CSE + code-motion sweep can expose further opportunities (a moved
+    tile copy becomes a duplicate, a deduplicated copy becomes loop
+    invariant); the paper's flow runs the cleanup a fixed number of times,
+    this pass instead iterates the group to a fixed point, capped at
+    ``max_iters``.  The iteration count is surfaced in the
+    :class:`~repro.pipeline.pipeline.PassRecord` of the pipeline report.
+
+    Build one via :meth:`repro.pipeline.pipeline.Pipeline.fixed_point`,
+    which replaces the named passes in place.
+    """
+
+    def __init__(self, passes, max_iters: int = 4, name: Optional[str] = None) -> None:
+        self.passes = tuple(passes)
+        if not self.passes:
+            raise PipelineError("fixed_point needs at least one pass to iterate")
+        self.max_iters = max(1, max_iters)
+        inner = "+".join(p.name for p in self.passes)
+        super().__init__(name or f"fixed-point({inner})")
+
+    def run(self, program: Program, ctx: PassContext) -> Program:
+        iterations = 0
+        for _ in range(self.max_iters):
+            before = program.body.structural_hash()
+            for pass_ in self.passes:
+                program = pass_.run(program, ctx)
+            iterations += 1
+            if program.body.structural_hash() == before:
+                break
+        ctx.artifacts[PASS_ITERATIONS_KEY] = iterations
+        return program
+
+    def cache_key(self, ctx: PassContext) -> Optional[Hashable]:
+        contributions = []
+        for pass_ in self.passes:
+            contribution = pass_.cache_key(ctx)
+            if contribution is None:
+                return None
+            contributions.append((type(pass_).__name__, contribution))
+        return (self.max_iters, tuple(contributions))
+
+    def payload(self, program: Program, ctx: PassContext) -> object:
+        return (program, ctx.artifacts.get(PASS_ITERATIONS_KEY, 1))
+
+    def restore(self, payload: object, ctx: PassContext) -> Program:
+        program, iterations = payload  # type: ignore[misc]
+        ctx.artifacts[PASS_ITERATIONS_KEY] = iterations
+        return program
+
+    def signature(self) -> Tuple[str, str]:
+        inner = ",".join(type(p).__name__ for p in self.passes)
+        return (f"FixedPointPass[{inner}]x{self.max_iters}", self.name)
+
+
 class GenerateHardwareStage(PipelinePass):
     """Terminal pass: map the (tiled) program onto the hardware templates.
 
@@ -229,6 +298,7 @@ class GenerateHardwareStage(PipelinePass):
     """
 
     name = "generate-hardware"
+    budget_seconds = 0.200
 
     def run(self, program: Program, ctx: PassContext) -> Program:
         ctx.artifacts["design"] = generate_hardware(
@@ -237,12 +307,42 @@ class GenerateHardwareStage(PipelinePass):
         return program
 
 
+class BuildScheduleStage(PipelinePass):
+    """Terminal pass: lower the generated design to its metapipeline Schedule.
+
+    Deposits the :class:`~repro.schedule.ir.Schedule` in
+    ``ctx.artifacts["schedule"]``.  Every downstream consumer — the cycle
+    backends, the area estimate, the traffic inventory, the MaxJ emitter —
+    reads this one object, so the stage makes the schedule an explicit
+    compilation artifact rather than something each backend re-derives.
+    """
+
+    name = "build-schedule"
+
+    def run(self, program: Program, ctx: PassContext) -> Program:
+        design = ctx.artifacts.get("design")
+        if design is None:
+            raise PipelineError(
+                "build-schedule needs a hardware design: run generate-hardware "
+                "earlier in the pipeline (or compile through a CompilerSession, "
+                "which generates the design when the pipeline has no terminals)"
+            )
+        ctx.artifacts["schedule"] = design.schedule()
+        return program
+
+
 class EstimateAreaStage(PipelinePass):
-    """Terminal pass: cost the generated design against the board's device."""
+    """Terminal pass: cost the scheduled design against the board's device."""
 
     name = "estimate-area"
 
     def run(self, program: Program, ctx: PassContext) -> Program:
+        schedule = ctx.artifacts.get("schedule")
+        if schedule is not None:
+            from repro.analysis.area import estimate_area_of_schedule
+
+            ctx.artifacts["area"] = estimate_area_of_schedule(schedule)
+            return program
         design = ctx.artifacts.get("design")
         if design is None:
             raise PipelineError(

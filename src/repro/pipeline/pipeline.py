@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import PipelineError
-from repro.pipeline.passes import PassContext, PipelinePass
+from repro.pipeline.passes import PASS_ITERATIONS_KEY, PassContext, PipelinePass
 from repro.ppl.program import Program
 from repro.ppl.traversal import count_nodes
 
@@ -68,10 +68,28 @@ class PassRecord:
     nodes_before: int
     nodes_after: int
     changed: bool
+    # Internal iterations the pass ran (fixed-point passes; 1 otherwise)
+    # and the pass's advisory wall-clock budget.
+    iterations: int = 1
+    budget_seconds: float = 0.0
 
     @property
     def node_delta(self) -> int:
         return self.nodes_after - self.nodes_before
+
+    @property
+    def over_budget(self) -> bool:
+        """Whether the (uncached) run exceeded the pass's time budget."""
+        return (
+            not self.cached and self.budget_seconds > 0 and self.seconds > self.budget_seconds
+        )
+
+    @property
+    def budget_label(self) -> str:
+        """The budget rendered for report tables (``!`` marks a breach)."""
+        if not self.budget_seconds:
+            return "-"
+        return f"{self.budget_seconds * 1e3:.0f}ms{'!' if self.over_budget else ' '}"
 
 
 @dataclass
@@ -91,6 +109,10 @@ class PipelineReport:
     def passes_run(self) -> int:
         return len(self.records)
 
+    def over_budget(self) -> List[PassRecord]:
+        """Records of passes that exceeded their advisory time budget."""
+        return [record for record in self.records if record.over_budget]
+
     def record(self, name: str) -> PassRecord:
         for entry in self.records:
             if entry.name == name:
@@ -98,7 +120,10 @@ class PipelineReport:
         raise KeyError(name)
 
     def table(self) -> str:
-        header = f"{'pass':<22} {'time':>10} {'cached':>7} {'nodes':>13} {'delta':>7}"
+        header = (
+            f"{'pass':<30} {'time':>10} {'budget':>10} {'cached':>7} "
+            f"{'iters':>5} {'nodes':>13} {'delta':>7}"
+        )
         lines = [
             f"pipeline {self.pipeline!r} on {self.program}: "
             f"{self.passes_run} passes, {self.cache_hits} cache hits, "
@@ -108,8 +133,9 @@ class PipelineReport:
         ]
         for record in self.records:
             lines.append(
-                f"{record.name:<22} {record.seconds * 1e3:>8.2f}ms "
+                f"{record.name:<30} {record.seconds * 1e3:>8.2f}ms {record.budget_label:>10} "
                 f"{'hit' if record.cached else '-':>7} "
+                f"{record.iterations:>5} "
                 f"{record.nodes_before:>5} -> {record.nodes_after:<5} "
                 f"{record.node_delta:>+7}"
             )
@@ -125,7 +151,9 @@ class PipelineReport:
                 {
                     "name": record.name,
                     "seconds": record.seconds,
+                    "budget_seconds": record.budget_seconds,
                     "cached": record.cached,
+                    "iterations": record.iterations,
                     "nodes_before": record.nodes_before,
                     "nodes_after": record.nodes_after,
                 }
@@ -242,6 +270,35 @@ class Pipeline:
     def appended(self, new_pass: PipelinePass) -> "Pipeline":
         return self._derived(list(self.passes) + [new_pass])
 
+    def fixed_point(self, names: Sequence[str], max_iters: int = 4) -> "Pipeline":
+        """A copy where the named passes iterate together to a fixed point.
+
+        The named passes (typically the cleanup sweep: CSE + code motion)
+        are replaced by one :class:`~repro.pipeline.passes.FixedPointPass`
+        at the position of the first, which reruns the group until the IR's
+        structural hash stops changing (capped at ``max_iters``).  The
+        iteration count is surfaced per run in the
+        :class:`PipelineReport`'s pass record.
+        """
+        from repro.pipeline.passes import FixedPointPass
+
+        if not names:
+            raise PipelineError("fixed_point needs at least one pass name")
+        indices = [self._index(name) for name in names]
+        # Keep the passes in their pipeline order regardless of the order
+        # the caller named them in.
+        ordered = sorted(zip(indices, names))
+        group = [self.passes[index] for index, _ in ordered]
+        first = ordered[0][0]
+        dropped = {name for _, name in ordered}
+        passes: List[PipelinePass] = []
+        for index, pass_ in enumerate(self.passes):
+            if index == first:
+                passes.append(FixedPointPass(group, max_iters=max_iters))
+            elif pass_.name not in dropped:
+                passes.append(pass_)
+        return self._derived(passes)
+
     # -- execution -----------------------------------------------------------
     def _memo_key(self, pass_: PipelinePass, program: Program, ctx: PassContext):
         contribution = pass_.cache_key(ctx)
@@ -291,6 +348,8 @@ class Pipeline:
                         next_program.body.structural_hash()
                         != current.body.structural_hash()
                     ),
+                    iterations=ctx.artifacts.pop(PASS_ITERATIONS_KEY, 1),
+                    budget_seconds=pass_.budget_seconds,
                 )
             )
             trace.append((pass_.name, next_program))

@@ -23,9 +23,9 @@ but is only safe when the program itself was built inside the same scope;
 Sessions are cheap: they hold no per-program state beyond bounded
 instrumentation, and by default they share the process-global
 :data:`~repro.dse.cache.ANALYSIS_CACHE`, so creating one session per sweep
-(or per worker) costs nothing while keeping ownership explicit.  The old
-module-level ``repro.compiler.compile_program`` / ``compile_point`` entry
-points survive as deprecation-warned shims over a session.
+(or per worker) costs nothing while keeping ownership explicit.  (The old
+module-level ``repro.compiler`` entry points served one deprecation release
+as shims and have been removed.)
 """
 
 from __future__ import annotations
@@ -44,6 +44,7 @@ from repro.pipeline.passes import PassContext
 from repro.pipeline.pipeline import Pipeline, PipelineOutcome, PipelineReport
 from repro.pipeline.variants import get_pipeline
 from repro.ppl.program import Program
+from repro.schedule.ir import Schedule
 from repro.sim.engine import simulate
 from repro.sim.metrics import SimulationResult
 from repro.sim.model import PerformanceModel
@@ -56,21 +57,28 @@ __all__ = ["CompilationResult", "CompilerSession", "Session"]
 
 @dataclass
 class CompilationResult:
-    """Everything produced by one compilation: IR stages, design, area, timing."""
+    """Everything produced by one compilation: IR stages, design, schedule,
+    area, timing."""
 
     program: Program
     config: CompileConfig
     tiling: TilingResult
     design: HardwareDesign
     area: AreaReport
+    schedule: Optional[Schedule] = None
     report: Optional[PipelineReport] = None
 
     @property
     def tiled_program(self) -> Program:
         return self.tiling.tiled
 
-    def simulate(self, model: Optional[PerformanceModel] = None) -> SimulationResult:
-        return simulate(self.design, model)
+    def simulate(
+        self,
+        model: Optional[PerformanceModel] = None,
+        cycle_model: str = "analytical",
+    ) -> SimulationResult:
+        target = self.schedule if self.schedule is not None else self.design
+        return simulate(target, model, cycle_model=cycle_model)
 
 
 class CompilerSession:
@@ -163,6 +171,9 @@ class CompilerSession:
                 design = generate_hardware(
                     outcome.program, config, bindings, board=self.board, par=par
                 )
+            schedule = ctx.artifacts.get("schedule")
+            if schedule is None:
+                schedule = design.schedule()
             area = ctx.artifacts.get("area")
             if area is None:
                 area = estimate_area(design)
@@ -172,6 +183,7 @@ class CompilerSession:
             tiling=self._tiling_result(program, config, ctx, outcome),
             design=design,
             area=area,
+            schedule=schedule,
             report=outcome.report,
         )
         self._record(outcome.report)
@@ -201,9 +213,17 @@ class CompilerSession:
         self,
         compilation: CompilationResult,
         model: Optional[PerformanceModel] = None,
+        cycle_model: str = "analytical",
     ) -> SimulationResult:
-        """Simulate a compiled design under this session's performance model."""
-        return compilation.simulate(model if model is not None else self.model)
+        """Simulate a compiled design under this session's performance model.
+
+        ``cycle_model`` selects the schedule backend: ``"analytical"`` (the
+        closed forms, the DSE default) or ``"event"`` (the event-driven
+        simulator with stage overlap, buffer stalls and DRAM contention).
+        """
+        return compilation.simulate(
+            model if model is not None else self.model, cycle_model=cycle_model
+        )
 
     # -- instrumentation -------------------------------------------------------
     @property

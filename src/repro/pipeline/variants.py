@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Union
 
 from repro.pipeline.passes import (
+    BuildScheduleStage,
     CodeMotionStage,
     CseStage,
     EstimateAreaStage,
@@ -41,7 +42,13 @@ __all__ = [
 
 
 def default_passes():
-    """Fresh instances of the full Figure 1 pass sequence."""
+    """Fresh instances of the full Figure 1 pass sequence.
+
+    ``build-schedule`` sits between hardware generation and area
+    estimation: it lowers the design to the explicit metapipeline Schedule
+    every downstream backend (cycle simulation, area, traffic, codegen)
+    consumes.
+    """
     return [
         FusionStage(),
         StripMineStage(),
@@ -52,6 +59,7 @@ def default_passes():
         CseStage("post-cse"),
         CodeMotionStage("post-code-motion"),
         GenerateHardwareStage(),
+        BuildScheduleStage(),
         EstimateAreaStage(),
     ]
 
@@ -72,6 +80,11 @@ _VARIANTS: Dict[str, Callable[[], Pipeline]] = {
     "late-cleanup": lambda: default_pipeline()
     .without("cse", "code-motion")
     .renamed("late-cleanup"),
+    # Iterate the post-interchange cleanup (CSE + code motion) to a fixed
+    # point instead of exactly once.
+    "fixed-point-cleanup": lambda: default_pipeline()
+    .fixed_point(["post-cse", "post-code-motion"])
+    .renamed("fixed-point-cleanup"),
 }
 
 

@@ -1,0 +1,121 @@
+"""The closed-form analytical cycle backend over the Schedule IR.
+
+This is the seed's flat :class:`repro.sim.engine.Simulator` re-expressed
+as a Schedule consumer.  The arithmetic — formula, traversal order and
+float evaluation order — is kept *identical* so the analytical backend
+reproduces the pre-refactor cycle counts bit-for-bit (guarded by the
+integration equivalence tests against the recorded golden Figure 7 runs):
+
+* sequential groups: ``iterations × Σ stage``;
+* parallel groups: ``iterations × max stage``;
+* metapipelines: fill (every stage once) plus
+  ``(iterations − 1) × (slowest stage + per-stage sync)`` — steady-state
+  throughput set by the slowest stage, exactly the paper's model;
+* transfers: one DRAM latency plus the burst-aligned transfer at the tiled
+  stream efficiency;
+* baseline streams: traffic at the derated baseline efficiency plus a
+  per-command-stream share of the DRAM latency;
+* compute leaves: ``elements / lanes + pipeline depth``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+from repro.schedule.costs import pipeline_cycles, stream_cycles, transfer_cycles
+from repro.schedule.ir import (
+    ComputeNode,
+    MetapipelineSchedule,
+    ParallelSchedule,
+    Schedule,
+    ScheduleNode,
+    SequentialSchedule,
+    StreamNode,
+    TransferNode,
+)
+from repro.sim.metrics import SimulationResult
+from repro.sim.model import PerformanceModel
+
+__all__ = ["AnalyticalScheduleBackend"]
+
+
+class AnalyticalScheduleBackend:
+    """Closed-form cycle counts composed over the schedule tree."""
+
+    name = "analytical"
+
+    def __init__(self, model: Optional[PerformanceModel] = None) -> None:
+        self.model = model or PerformanceModel()
+
+    # -- public API ----------------------------------------------------------
+    def run(self, schedule: Schedule) -> SimulationResult:
+        self._per_node: Dict[str, float] = {}
+        self._compute_cycles = 0.0
+        self._memory_cycles = 0.0
+        self._board = schedule.board
+        total = self._cycles(schedule.root)
+        return SimulationResult(
+            design_name=schedule.name,
+            program_name=schedule.program_name,
+            config_label=schedule.config_label,
+            cycles=total,
+            clock_hz=schedule.board.device.clock_hz,
+            main_memory_read_bytes=schedule.main_memory_read_bytes,
+            main_memory_write_bytes=schedule.main_memory_write_bytes,
+            per_module_cycles=dict(self._per_node),
+            compute_cycles=self._compute_cycles,
+            memory_cycles=self._memory_cycles,
+            cycle_model=self.name,
+        )
+
+    # -- per-node timing -----------------------------------------------------
+    def _cycles(self, node: ScheduleNode) -> float:
+        cycles = self._dispatch(node)
+        self._per_node[node.name] = cycles
+        return cycles
+
+    def _dispatch(self, node: ScheduleNode) -> float:
+        if isinstance(node, MetapipelineSchedule):
+            return self._metapipeline(node)
+        if isinstance(node, ParallelSchedule):
+            stage_cycles = [self._cycles(stage) for stage in node.stages]
+            return node.iterations * (max(stage_cycles) if stage_cycles else 0.0)
+        if isinstance(node, SequentialSchedule):
+            stage_cycles = [self._cycles(stage) for stage in node.stages]
+            return node.iterations * sum(stage_cycles)
+        if isinstance(node, TransferNode):
+            cycles = self._transfer_cycles(node.bytes_per_invocation)
+            self._memory_cycles += cycles
+            return cycles
+        if isinstance(node, StreamNode):
+            cycles = self._stream_cycles(node)
+            self._memory_cycles += cycles
+            return cycles
+        if isinstance(node, ComputeNode):
+            cycles = self._pipeline_cycles(node)
+            self._compute_cycles += cycles
+            return cycles
+        if type(node) is ScheduleNode:
+            return 0.0  # untimed memory leaf
+        raise SimulationError(f"no timing rule for schedule node {node.kind}")  # pragma: no cover
+
+    def _metapipeline(self, group: MetapipelineSchedule) -> float:
+        stage_cycles = [self._cycles(stage) for stage in group.stages]
+        if not stage_cycles:
+            return 0.0
+        slowest = max(stage_cycles)
+        fill = sum(stage_cycles)
+        steady_iterations = max(0, group.iterations - 1)
+        sync = self.model.metapipeline_sync * len(stage_cycles)
+        return fill + steady_iterations * (slowest + sync)
+
+    # -- leaf durations (shared closed forms, repro.schedule.costs) ----------
+    def _transfer_cycles(self, num_bytes: float) -> float:
+        return transfer_cycles(self._board, self.model, num_bytes)
+
+    def _stream_cycles(self, stream: StreamNode) -> float:
+        return stream_cycles(self._board, self.model, stream)
+
+    def _pipeline_cycles(self, unit: ComputeNode) -> float:
+        return pipeline_cycles(unit)

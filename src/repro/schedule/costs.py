@@ -1,0 +1,47 @@
+"""The shared per-invocation leaf-cost closed forms.
+
+Both cycle backends price a single invocation of a schedule leaf with the
+same formulas — the analytical backend composes them algebraically, the
+event backend plays them out on a timeline.  Keeping the formulas in one
+place is what guarantees the documented invariant that the backends agree
+*exactly* on designs with no metapipelined overlap: a calibration tweak
+here reaches both backends, a tweak anywhere else cannot split them.
+"""
+
+from __future__ import annotations
+
+from repro.schedule.ir import ComputeNode, StreamNode
+from repro.sim.model import PerformanceModel
+from repro.target.device import Board
+
+__all__ = ["pipeline_cycles", "stream_cycles", "transfer_cycles"]
+
+
+def transfer_cycles(board: Board, model: PerformanceModel, num_bytes: float) -> float:
+    """One tile load/store: a DRAM latency plus the burst-aligned transfer."""
+    if num_bytes <= 0:
+        return 0.0
+    bpc = board.bytes_per_cycle * model.tiled_stream_efficiency
+    return board.memory.latency_cycles + num_bytes / bpc
+
+
+def stream_cycles(board: Board, model: PerformanceModel, stream: StreamNode) -> float:
+    """One baseline stream: derated transfer plus latency per command stream."""
+    bpc = board.bytes_per_cycle * model.baseline_stream_efficiency
+    transfer = stream.total_bytes / bpc if bpc else 0.0
+    overhead = (
+        stream.requests
+        * board.memory.latency_cycles
+        / max(1, model.baseline_outstanding)
+    )
+    return transfer + overhead
+
+
+def pipeline_cycles(unit: ComputeNode) -> float:
+    """One pipelined-unit invocation: elements over lanes plus the fill."""
+    lanes = unit.lanes or 1
+    elements = unit.elements * unit.ops_per_element
+    if unit.unit == "scalar":
+        elements = unit.ops_per_element * max(1, unit.elements)
+        lanes = 1
+    return elements / lanes + unit.pipeline_depth

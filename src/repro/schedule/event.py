@@ -1,0 +1,251 @@
+"""Event-driven cycle-level simulation over the Schedule IR.
+
+Where the analytical backend composes closed-form per-stage cycle counts,
+this backend *plays the schedule out*: every stage invocation becomes an
+event with a begin and finish time, and three effects the closed forms can
+only approximate are modelled explicitly:
+
+* **stage overlap** — a metapipeline runs stage *i* of iteration *t*
+  concurrently with stage *i+1* of iteration *t−1*; the event timeline
+  resolves each stage's begin time from both its own previous iteration and
+  its upstream producer instead of assuming slowest-stage steady state;
+* **double-buffer stalls** — a producer stage may run at most one iteration
+  ahead of its consumer (the two halves of the double buffer); when the
+  producer would overrun, it stalls and the stalled cycles are accounted in
+  ``stall_cycles``;
+* **memory contention** — every transfer and stream shares one DRAM
+  channel; logically concurrent transfers serialize on it, and the waiting
+  is accounted in ``contention_cycles``.
+
+Per-invocation leaf durations reuse the analytical formulas (a transfer
+still costs latency + bytes/bandwidth), so the two backends agree exactly
+on unpipelined designs and diverge only through overlap, backpressure and
+contention — which is precisely the discrepancy the calibration report
+(:mod:`repro.schedule.compare`) measures.
+
+Long loops are unrolled up to :data:`EVENT_UNROLL_LIMIT` iterations and
+then extrapolated at the observed steady-state rate, keeping the event
+count (and wall-clock) bounded for million-iteration baseline designs;
+the aggregate stall / contention / compute / memory accounting is scaled
+with the extrapolated tail (per-node cycles stay explicit-window-only).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+from repro.schedule.costs import pipeline_cycles, stream_cycles, transfer_cycles
+from repro.schedule.ir import (
+    ComputeNode,
+    MetapipelineSchedule,
+    ParallelSchedule,
+    Schedule,
+    ScheduleNode,
+    SequentialSchedule,
+    StreamNode,
+    TransferNode,
+)
+from repro.sim.metrics import SimulationResult
+from repro.sim.model import PerformanceModel
+
+__all__ = ["EventScheduleBackend", "EVENT_UNROLL_LIMIT"]
+
+#: Iterations of one stage group the event simulator plays out explicitly
+#: before switching to steady-state extrapolation.
+EVENT_UNROLL_LIMIT = 256
+
+
+class _MemoryChannel:
+    """One shared DRAM channel: transfers serialize, waiting is contention."""
+
+    def __init__(self) -> None:
+        self.free_at = 0.0
+        self.busy_cycles = 0.0
+        self.contention_cycles = 0.0
+
+    def transfer(self, ready: float, duration: float) -> float:
+        begin = max(ready, self.free_at)
+        self.contention_cycles += begin - ready
+        self.free_at = begin + duration
+        self.busy_cycles += duration
+        return self.free_at
+
+
+class EventScheduleBackend:
+    """Plays a schedule out on an event timeline with shared-resource stalls."""
+
+    name = "event"
+
+    def __init__(
+        self,
+        model: Optional[PerformanceModel] = None,
+        unroll_limit: int = EVENT_UNROLL_LIMIT,
+    ) -> None:
+        self.model = model or PerformanceModel()
+        self.unroll_limit = max(1, unroll_limit)
+
+    # -- public API ----------------------------------------------------------
+    def run(self, schedule: Schedule) -> SimulationResult:
+        self._per_node: Dict[str, float] = {}
+        self._compute_cycles = 0.0
+        self._memory_cycles = 0.0
+        self._buffer_stall_cycles = 0.0
+        self._board = schedule.board
+        self._channel = _MemoryChannel()
+        finish = self._run(schedule.root, 0.0)
+        return SimulationResult(
+            design_name=schedule.name,
+            program_name=schedule.program_name,
+            config_label=schedule.config_label,
+            cycles=finish,
+            clock_hz=schedule.board.device.clock_hz,
+            main_memory_read_bytes=schedule.main_memory_read_bytes,
+            main_memory_write_bytes=schedule.main_memory_write_bytes,
+            per_module_cycles=dict(self._per_node),
+            compute_cycles=self._compute_cycles,
+            memory_cycles=self._memory_cycles,
+            cycle_model=self.name,
+            stall_cycles=self._buffer_stall_cycles,
+            contention_cycles=self._channel.contention_cycles,
+        )
+
+    # -- event evaluation ----------------------------------------------------
+    def _run(self, node: ScheduleNode, start: float) -> float:
+        """Simulate one invocation of ``node`` beginning at ``start``."""
+        if isinstance(node, MetapipelineSchedule):
+            finish = self._metapipeline(node, start)
+        elif isinstance(node, ParallelSchedule):
+            finish = self._unrolled(
+                node, start, lambda t: self._parallel_round(node, t)
+            )
+        elif isinstance(node, SequentialSchedule):
+            finish = self._unrolled(
+                node, start, lambda t: self._sequential_round(node, t)
+            )
+        elif isinstance(node, TransferNode):
+            duration = self._transfer_duration(node.bytes_per_invocation)
+            self._memory_cycles += duration
+            finish = self._channel.transfer(start, duration)
+        elif isinstance(node, StreamNode):
+            duration = self._stream_duration(node)
+            self._memory_cycles += duration
+            finish = self._channel.transfer(start, duration)
+        elif isinstance(node, ComputeNode):
+            duration = self._pipeline_duration(node)
+            self._compute_cycles += duration
+            finish = start + duration
+        elif type(node) is ScheduleNode:
+            finish = start  # untimed memory leaf
+        else:  # pragma: no cover - exhaustive over the Schedule IR
+            raise SimulationError(f"no event rule for schedule node {node.kind}")
+        self._per_node[node.name] = self._per_node.get(node.name, 0.0) + (finish - start)
+        return finish
+
+    def _sequential_round(self, group: SequentialSchedule, start: float) -> float:
+        t = start
+        for stage in group.stages:
+            t = self._run(stage, t)
+        return t
+
+    def _parallel_round(self, group: ParallelSchedule, start: float) -> float:
+        finish = start
+        for stage in group.stages:
+            finish = max(finish, self._run(stage, start))
+        return finish
+
+    def _counters(self):
+        return (
+            self._compute_cycles,
+            self._memory_cycles,
+            self._buffer_stall_cycles,
+            self._channel.contention_cycles,
+        )
+
+    def _extrapolate_counters(self, snapshot, scale: float) -> None:
+        """Scale the aggregate accounting with a loop's extrapolated tail.
+
+        The makespan extrapolation embeds the steady state's stalls and
+        contention; without this the stall/contention/compute/memory
+        columns would only cover the explicitly simulated iterations and
+        misattribute the event-vs-analytical gap on long loops.  (Per-node
+        ``per_module_cycles`` stay explicit-window-only.)
+        """
+        compute, memory, stalls, contention = snapshot
+        self._compute_cycles += (self._compute_cycles - compute) * scale
+        self._memory_cycles += (self._memory_cycles - memory) * scale
+        self._buffer_stall_cycles += (self._buffer_stall_cycles - stalls) * scale
+        self._channel.contention_cycles += (
+            self._channel.contention_cycles - contention
+        ) * scale
+
+    def _unrolled(self, group, start: float, round_fn) -> float:
+        """Run ``round_fn`` per iteration, extrapolating past the unroll cap."""
+        iterations = group.iterations
+        explicit = min(iterations, self.unroll_limit)
+        snapshot = self._counters()
+        t = start
+        for _ in range(explicit):
+            t = round_fn(t)
+        remaining = iterations - explicit
+        if remaining > 0 and explicit > 0:
+            per_iteration = (t - start) / explicit
+            t += per_iteration * remaining
+            self._extrapolate_counters(snapshot, remaining / explicit)
+        return t
+
+    def _metapipeline(self, group: MetapipelineSchedule, start: float) -> float:
+        stages = group.stages
+        n = len(stages)
+        if n == 0 or group.iterations <= 0:
+            return start
+        sync = self.model.metapipeline_sync
+        # stage_free[i]: when stage i's unit finished its previous iteration;
+        # prev_begin[i]: when stage i *began* its previous iteration (the
+        # consumer-side signal that frees one half of the double buffer).
+        stage_free = [start] * n
+        prev_begin = [start] * n
+        explicit = min(group.iterations, self.unroll_limit)
+        snapshot = self._counters()
+        finish = start
+        last_delta = 0.0
+        for iteration in range(explicit):
+            upstream_done = start
+            begins = [start] * n
+            for i, stage in enumerate(stages):
+                begin = max(stage_free[i], upstream_done)
+                if iteration > 0 and i + 1 < n:
+                    # Double-buffer backpressure: the producer may run at
+                    # most one iteration ahead of its consumer.
+                    released = prev_begin[i + 1]
+                    if begin < released:
+                        self._buffer_stall_cycles += released - begin
+                        begin = released
+                begins[i] = begin
+                upstream_done = self._run(stage, begin) + sync
+                stage_free[i] = upstream_done
+            prev_begin = begins
+            previous_finish = finish
+            finish = max(stage_free)
+            last_delta = finish - previous_finish if iteration > 0 else last_delta
+        remaining = group.iterations - explicit
+        if remaining > 0:
+            # Steady state: every further iteration advances the makespan by
+            # the observed per-iteration delta (the slowest stage's period
+            # including sync, stalls and contention).
+            per_iteration = (
+                last_delta if last_delta > 0 else (finish - start) / max(1, explicit)
+            )
+            finish += per_iteration * remaining
+            self._extrapolate_counters(snapshot, remaining / explicit)
+        return finish
+
+    # -- leaf durations (shared closed forms, repro.schedule.costs) ----------
+    def _transfer_duration(self, num_bytes: float) -> float:
+        return transfer_cycles(self._board, self.model, num_bytes)
+
+    def _stream_duration(self, stream: StreamNode) -> float:
+        return stream_cycles(self._board, self.model, stream)
+
+    def _pipeline_duration(self, unit: ComputeNode) -> float:
+        return pipeline_cycles(unit)

@@ -1,0 +1,153 @@
+"""Lowering a hardware design graph into the Schedule IR.
+
+:func:`build_schedule` turns a :class:`~repro.hw.design.HardwareDesign`
+into a :class:`~repro.schedule.ir.Schedule`: controllers become stage
+groups (keeping their iteration counts), timed templates become compute /
+transfer / stream leaves, untimed memories attached under controllers are
+dropped from the stage tree (they never consume cycles), and the design's
+memory list becomes the schedule's memory inventory.
+
+The lowering is deterministic and structure-preserving — stage order,
+names and iteration counts survive unchanged — which is what lets the
+analytical backend reproduce the flat simulator's cycle counts bit-for-bit
+and the MaxJ emitter render the same hierarchy the simulators time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.hw.controllers import (
+    Controller,
+    MetapipelineController,
+    ParallelController,
+    SequentialController,
+)
+from repro.hw.design import HardwareDesign
+from repro.hw.templates import (
+    CAM,
+    Buffer,
+    Cache,
+    HardwareModule,
+    MainMemoryStream,
+    ParallelFIFO,
+    ReductionTree,
+    ScalarPipe,
+    TileLoad,
+    TileStore,
+    VectorUnit,
+)
+from repro.schedule.ir import (
+    ComputeNode,
+    MemoryNode,
+    MetapipelineSchedule,
+    ParallelSchedule,
+    Schedule,
+    ScheduleNode,
+    SequentialSchedule,
+    StreamNode,
+    TransferNode,
+)
+
+__all__ = ["build_schedule", "lower_memory"]
+
+_GROUP_FOR_CONTROLLER = {
+    MetapipelineController: MetapipelineSchedule,
+    ParallelController: ParallelSchedule,
+    SequentialController: SequentialSchedule,
+}
+
+_COMPUTE_UNITS = {VectorUnit: "vector", ReductionTree: "reduction", ScalarPipe: "scalar"}
+
+
+def _lower_node(module: HardwareModule, burst_bytes: int) -> ScheduleNode:
+    if isinstance(module, Controller):
+        for controller_cls, group_cls in _GROUP_FOR_CONTROLLER.items():
+            if isinstance(module, controller_cls):
+                return group_cls(
+                    name=module.name,
+                    module=module,
+                    stages=[_lower_node(stage, burst_bytes) for stage in module.stages],
+                    iterations=module.iterations,
+                )
+    if isinstance(module, (TileLoad, TileStore)):
+        return TransferNode(
+            name=module.name,
+            module=module,
+            direction="load" if isinstance(module, TileLoad) else "store",
+            bytes_per_invocation=module.bytes_per_invocation,
+            burst_bytes=burst_bytes,
+            source=module.source,
+            destination=module.destination,
+        )
+    if isinstance(module, MainMemoryStream):
+        return StreamNode(
+            name=module.name,
+            module=module,
+            total_bytes=module.total_bytes,
+            requests=module.requests,
+            sequential=module.sequential,
+            source=module.source,
+            store_bytes=module.store_bytes,
+        )
+    for unit_cls, unit in _COMPUTE_UNITS.items():
+        if isinstance(module, unit_cls):
+            return ComputeNode(
+                name=module.name,
+                module=module,
+                unit=unit,
+                lanes=getattr(module, "lanes", 1) or 1,
+                elements=module.elements,
+                ops_per_element=module.ops_per_element,
+                pipeline_depth=module.pipeline_depth,
+            )
+    if isinstance(module, (Buffer, Cache, CAM, ParallelFIFO)):
+        # A memory placed in the stage tree consumes no cycles of its own
+        # (its ports are timed by the units that use it); keep it as a bare
+        # zero-time leaf so hand-built designs stay simulatable.
+        return ScheduleNode(name=module.name, module=module)
+    raise SimulationError(
+        f"no schedule lowering for module kind {module.kind}"
+    )  # pragma: no cover - every template kind is handled above
+
+
+def lower_memory(module: HardwareModule) -> MemoryNode:
+    """Lower one memory template to its inventory record."""
+    return MemoryNode(
+        name=module.name,
+        kind=module.kind,
+        module=module,
+        capacity_bits=getattr(module, "capacity_bits", 0),
+        depth_words=getattr(module, "depth_words", 0),
+        banks=getattr(module, "banks", 1),
+        double=isinstance(module, Buffer) and module.double,
+        source=getattr(module, "source", ""),
+    )
+
+
+def build_schedule(design: HardwareDesign) -> Schedule:
+    """Lower a hardware design into its (cached) metapipeline schedule.
+
+    The schedule is memoised on the design object: designs are built once
+    per compile and never mutated afterwards, and every consumer — both
+    cycle backends, the area model, the traffic inventory, the MaxJ emitter
+    — must see the *same* schedule object for "one structure, many
+    backends" to hold.
+    """
+    cached = getattr(design, "_schedule", None)
+    if cached is not None:
+        return cached
+    burst_bytes = design.board.memory.burst_bytes
+    schedule = Schedule(
+        name=design.name,
+        program_name=design.program_name,
+        config_label=design.config.label,
+        root=_lower_node(design.top, burst_bytes),
+        memories=[lower_memory(module) for module in design.memories],
+        board=design.board,
+        output_bytes=design.output_bytes,
+        main_memory_read_bytes=design.main_memory_read_bytes,
+        main_memory_write_bytes=design.main_memory_write_bytes,
+        notes=list(design.notes),
+    )
+    design._schedule = schedule
+    return schedule

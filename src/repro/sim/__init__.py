@@ -1,11 +1,19 @@
-"""Transaction-level performance simulator standing in for the FPGA board.
+"""Cycle simulation standing in for the FPGA board — over the Schedule IR.
 
-The simulator assigns cycle counts to every template and controller of a
-:class:`~repro.hw.design.HardwareDesign` using the board's DRAM parameters
-and the design's clock, mirroring how the paper measures wall-clock time on
-the Max4 Maia board.  The functional result of a design is obtained by
-running the reference interpreter on the design's program, so output
-correctness is checked end to end as well.
+Every hardware design is lowered to an explicit metapipeline
+:class:`~repro.schedule.ir.Schedule` and timed by one of two backends:
+
+* ``cycle_model="analytical"`` — closed-form per-stage cycle counts
+  composed over the schedule tree (the seed's performance model,
+  bit-for-bit); microseconds per design, the DSE inner loop;
+* ``cycle_model="event"`` — an event-driven timeline modelling stage
+  overlap, double-buffer backpressure stalls and DRAM-channel contention;
+  milliseconds per design, used to calibrate the analytical knobs (see
+  :mod:`repro.schedule.compare` and ``benchmarks/bench_sim.py``).
+
+The functional result of a design is obtained by running the reference
+interpreter on the design's program, so output correctness is checked end
+to end as well.
 """
 
 from repro.sim.model import PerformanceModel

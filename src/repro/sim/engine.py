@@ -1,147 +1,66 @@
-"""Cycle model of hardware designs.
+"""Cycle simulation of hardware designs, via the Schedule IR.
 
-Timing semantics per module kind:
+The simulator no longer walks the hardware design graph directly: every
+design is first lowered to an explicit metapipeline
+:class:`~repro.schedule.ir.Schedule` (:func:`repro.schedule.build_schedule`),
+and one of two backends evaluates it:
 
-* ``TileLoad`` / ``TileStore`` — one DRAM latency plus the transfer time of
-  the tile at (near) full bandwidth: the memory command generators issue long
-  contiguous bursts.
-* ``MainMemoryStream`` (baseline) — transfer time at the baseline's derated
-  stream efficiency, plus a per-command-stream share of the DRAM latency.
-* ``VectorUnit`` / ``ReductionTree`` / ``ScalarPipe`` — elements divided by
-  lanes, plus pipeline fill.
-* ``SequentialController`` — iterations × sum of stage times.
-* ``ParallelController`` — iterations × max of member times.
-* ``MetapipelineController`` — fill (sum of stages once) plus
-  ``(iterations − 1) ×`` the slowest stage: steady-state throughput is set by
-  the slowest stage, exactly the behaviour the paper describes.
+* ``cycle_model="analytical"`` — the closed-form evaluator
+  (:class:`~repro.schedule.analytical.AnalyticalScheduleBackend`): the
+  seed's performance model, bit-for-bit, used by the DSE inner loop;
+* ``cycle_model="event"`` — the event-driven simulator
+  (:class:`~repro.schedule.event.EventScheduleBackend`): models stage
+  overlap, double-buffer stalls and DRAM-channel contention on an explicit
+  timeline.
+
+Because both backends read the same Schedule object that the area model
+inventories and the MaxJ emitter renders, the structure being timed is the
+structure being emitted.  See :mod:`repro.schedule.compare` for the
+analytical-vs-event discrepancy report used to calibrate the model knobs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Optional, Union
 
-from repro.errors import SimulationError
-from repro.hw.controllers import (
-    MetapipelineController,
-    ParallelController,
-    SequentialController,
-)
 from repro.hw.design import HardwareDesign
-from repro.hw.templates import (
-    CAM,
-    Buffer,
-    Cache,
-    HardwareModule,
-    MainMemoryStream,
-    ParallelFIFO,
-    ReductionTree,
-    ScalarPipe,
-    TileLoad,
-    TileStore,
-    VectorUnit,
-)
 from repro.sim.metrics import SimulationResult
 from repro.sim.model import PerformanceModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.schedule.ir import Schedule
 
 __all__ = ["Simulator", "simulate"]
 
 
 class Simulator:
-    """Computes cycle counts for a hardware design."""
+    """Computes cycle counts for a hardware design (or a pre-built schedule)."""
 
-    def __init__(self, model: Optional[PerformanceModel] = None) -> None:
+    def __init__(
+        self,
+        model: Optional[PerformanceModel] = None,
+        cycle_model: str = "analytical",
+    ) -> None:
+        # Imported here (not at module level) to keep repro.sim importable
+        # from inside the schedule backends' own imports.
+        from repro.schedule.compare import get_backend
+
         self.model = model or PerformanceModel()
+        self.backend = get_backend(cycle_model, self.model)
+        self.cycle_model = cycle_model
 
-    # -- public API ----------------------------------------------------------
-    def run(self, design: HardwareDesign) -> SimulationResult:
-        self._per_module: Dict[str, float] = {}
-        self._compute_cycles = 0.0
-        self._memory_cycles = 0.0
-        self._board = design.board
-        total = self._cycles(design.top)
-        return SimulationResult(
-            design_name=design.name,
-            program_name=design.program_name,
-            config_label=design.config.label,
-            cycles=total,
-            clock_hz=design.board.device.clock_hz,
-            main_memory_read_bytes=design.main_memory_read_bytes,
-            main_memory_write_bytes=design.main_memory_write_bytes,
-            per_module_cycles=dict(self._per_module),
-            compute_cycles=self._compute_cycles,
-            memory_cycles=self._memory_cycles,
-        )
+    def run(self, design: Union[HardwareDesign, "Schedule"]) -> SimulationResult:
+        from repro.schedule.ir import Schedule
+        from repro.schedule.lower import build_schedule
 
-    # -- per-module timing ------------------------------------------------------
-    def _cycles(self, module: HardwareModule) -> float:
-        cycles = self._dispatch(module)
-        self._per_module[module.name] = cycles
-        return cycles
-
-    def _dispatch(self, module: HardwareModule) -> float:
-        if isinstance(module, MetapipelineController):
-            return self._metapipeline(module)
-        if isinstance(module, ParallelController):
-            stage_cycles = [self._cycles(stage) for stage in module.stages]
-            return module.iterations * (max(stage_cycles) if stage_cycles else 0.0)
-        if isinstance(module, SequentialController):
-            stage_cycles = [self._cycles(stage) for stage in module.stages]
-            return module.iterations * sum(stage_cycles)
-        if isinstance(module, (TileLoad, TileStore)):
-            cycles = self._transfer_cycles(module.bytes_per_invocation, tiled=True)
-            self._memory_cycles += cycles
-            return cycles
-        if isinstance(module, MainMemoryStream):
-            cycles = self._baseline_stream_cycles(module)
-            self._memory_cycles += cycles
-            return cycles
-        if isinstance(module, (VectorUnit, ReductionTree, ScalarPipe)):
-            cycles = self._pipeline_cycles(module)
-            self._compute_cycles += cycles
-            return cycles
-        if isinstance(module, (Buffer, Cache, CAM, ParallelFIFO)):
-            return 0.0
-        raise SimulationError(f"no timing rule for module kind {module.kind}")  # pragma: no cover
-
-    def _metapipeline(self, controller: MetapipelineController) -> float:
-        stage_cycles = [self._cycles(stage) for stage in controller.stages]
-        if not stage_cycles:
-            return 0.0
-        slowest = max(stage_cycles)
-        fill = sum(stage_cycles)
-        steady_iterations = max(0, controller.iterations - 1)
-        sync = self.model.metapipeline_sync * len(stage_cycles)
-        return fill + steady_iterations * (slowest + sync)
-
-    def _transfer_cycles(self, num_bytes: float, tiled: bool) -> float:
-        bpc = self._board.bytes_per_cycle * (
-            self.model.tiled_stream_efficiency if tiled else self.model.baseline_stream_efficiency
-        )
-        latency = self._board.memory.latency_cycles
-        if num_bytes <= 0:
-            return 0.0
-        return latency + num_bytes / bpc
-
-    def _baseline_stream_cycles(self, stream: MainMemoryStream) -> float:
-        bpc = self._board.bytes_per_cycle * self.model.baseline_stream_efficiency
-        transfer = stream.total_bytes / bpc if bpc else 0.0
-        overhead = (
-            stream.requests
-            * self._board.memory.latency_cycles
-            / max(1, self.model.baseline_outstanding)
-        )
-        return transfer + overhead
-
-    def _pipeline_cycles(self, unit) -> float:
-        lanes = getattr(unit, "lanes", 1) or 1
-        elements = getattr(unit, "elements", 0) * getattr(unit, "ops_per_element", 1.0)
-        depth = getattr(unit, "pipeline_depth", self.model.pipeline_fill)
-        if isinstance(unit, ScalarPipe):
-            elements = unit.ops_per_element * max(1, unit.elements)
-            lanes = 1
-        return elements / lanes + depth
+        schedule = design if isinstance(design, Schedule) else build_schedule(design)
+        return self.backend.run(schedule)
 
 
-def simulate(design: HardwareDesign, model: Optional[PerformanceModel] = None) -> SimulationResult:
+def simulate(
+    design: Union[HardwareDesign, "Schedule"],
+    model: Optional[PerformanceModel] = None,
+    cycle_model: str = "analytical",
+) -> SimulationResult:
     """Simulate a design and return its cycle count and derived metrics."""
-    return Simulator(model).run(design)
+    return Simulator(model, cycle_model=cycle_model).run(design)

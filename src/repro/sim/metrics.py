@@ -22,6 +22,11 @@ class SimulationResult:
     per_module_cycles: Dict[str, float] = field(default_factory=dict)
     compute_cycles: float = 0.0
     memory_cycles: float = 0.0
+    # Which schedule backend produced the numbers, plus the event-only
+    # accounting (both stay zero under the analytical closed forms).
+    cycle_model: str = "analytical"
+    stall_cycles: float = 0.0
+    contention_cycles: float = 0.0
 
     @property
     def seconds(self) -> float:

@@ -127,22 +127,22 @@ class TestAreaModel:
         assert double.bram_bits == pytest.approx(2 * single.bram_bits)
 
     def test_design_area_report(self, rng):
-        from repro.compiler import compile_program
+        from repro.pipeline import Session
         from repro.config import BASELINE
 
         bench = get_benchmark("sumrows")
         bindings = bench.bindings({"m": 256, "n": 64}, rng)
-        result = compile_program(bench.build(), BASELINE, bindings)
+        result = Session().compile(bench.build(), BASELINE, bindings)
         report = estimate_area(result.design)
         assert report.total.logic > 0
         assert 0 <= report.logic_utilization < 1.0
 
     def test_relative_area_of_identical_designs_is_one(self, rng):
-        from repro.compiler import compile_program
+        from repro.pipeline import Session
         from repro.config import BASELINE
 
         bench = get_benchmark("sumrows")
         bindings = bench.bindings({"m": 256, "n": 64}, rng)
-        report = estimate_area(compile_program(bench.build(), BASELINE, bindings).design)
+        report = estimate_area(Session().compile(bench.build(), BASELINE, bindings).design)
         rel = relative_area(report, report)
         assert rel == {"logic": 1.0, "FF": 1.0, "mem": 1.0}

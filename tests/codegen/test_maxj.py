@@ -5,7 +5,7 @@ import pytest
 
 from repro.apps import get_benchmark
 from repro.codegen import design_report, generate_maxj
-from repro.compiler import compile_program
+from repro.pipeline import Session
 from repro.config import BASELINE, CompileConfig
 
 
@@ -15,7 +15,7 @@ def _compile(name="kmeans", metapipelining=True):
         tiling=True, metapipelining=metapipelining, tile_sizes=dict(bench.tile_sizes)
     )
     bindings = bench.bindings({"n": 4096, "k": 16, "d": 16}, np.random.default_rng(0))
-    return compile_program(bench.build(), config, bindings)
+    return Session().compile(bench.build(), config, bindings)
 
 
 class TestMaxJGeneration:
@@ -40,7 +40,7 @@ class TestMaxJGeneration:
     def test_baseline_renders_streams(self):
         bench = get_benchmark("tpchq6")
         bindings = bench.bindings({"n": 65536}, np.random.default_rng(0))
-        result = compile_program(bench.build(), BASELINE, bindings)
+        result = Session().compile(bench.build(), BASELINE, bindings)
         code = generate_maxj(result.design)
         assert "lmem.stream(" in code
         assert "control.parallel(" in code

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.apps import get_benchmark
-from repro.compiler import compile_point
+from repro.pipeline import Session
 from repro.dse.cache import ANALYSIS_CACHE
 from repro.dse.engine import (
     PointResult,
@@ -50,12 +50,48 @@ class TestEvaluatePoint:
         bindings = bench.bindings({"m": 1024, "n": 128}, np.random.default_rng(0))
         program = bench.build()
         point = DesignPoint.make({"m": 128}, par=8, metapipelining=True)
-        via_point = compile_point(program, point, bindings)
+        via_point = Session().compile_point(program, point, bindings)
         via_config = evaluate_config(
             program, point.config(), bindings, par=point.par
         ).compilation
         assert via_point.area.total.logic == via_config.area.total.logic
         assert via_point.design.main_memory_read_bytes == via_config.design.main_memory_read_bytes
+
+    def test_cycle_model_keys_memoised_results_separately(self):
+        bench = get_benchmark("sumrows")
+        bindings = bench.bindings({"m": 1024, "n": 128}, np.random.default_rng(0))
+        program = bench.build()
+        point = DesignPoint.make({"m": 128}, par=8, metapipelining=True)
+        analytical = evaluate_point(program, bindings, point)
+        event = evaluate_point(program, bindings, point, cycle_model="event")
+        # Metapipelined sumrows stalls on the double buffer in the event
+        # model, so the two backends disagree — and each result must come
+        # from its own cache entry, not shadow the other's.
+        assert analytical.cycles != event.cycles
+        assert evaluate_point(program, bindings, point).cycles == analytical.cycles
+        assert (
+            evaluate_point(program, bindings, point, cycle_model="event").cycles
+            == event.cycles
+        )
+
+    def test_explore_with_event_cycle_model(self):
+        result = explore(
+            "sumrows",
+            sizes={"m": 1024, "n": 128},
+            space=_small_space_sumrows(),
+            prune=False,
+            cycle_model="event",
+        )
+        assert result.evaluated
+        assert all(r.cycles > 0 for r in result.evaluated)
+
+
+def _small_space_sumrows():
+    space = DesignSpace()
+    space.add(DesignPoint.make(None, par=8))
+    space.add(DesignPoint.make({"m": 128}, par=8))
+    space.add(DesignPoint.make({"m": 128}, par=8, metapipelining=True))
+    return space
 
 
 class TestExplore:

@@ -98,6 +98,45 @@ class TestFigure7Harness:
         assert result.baseline.pipeline_report is None
         assert report.pass_table().count("\n") == 1  # header + rule only
 
+
+class TestCycleModelKnob:
+    def test_event_cycle_model_runs_end_to_end(self):
+        report = run_figure7(
+            benchmarks=["sumrows"], sizes_override=SMALL_SIZES, cycle_model="event"
+        )
+        result = report.result("sumrows")
+        assert result.cycle_model == "event"
+        for config_result in (result.baseline, result.tiling, result.metapipelining):
+            assert config_result.simulation.cycle_model == "event"
+            assert config_result.simulation.cycles > 0
+        assert result.speedup_metapipelining > 0
+
+    def test_compare_cycle_models_populates_discrepancies(self):
+        report = run_figure7(
+            benchmarks=["outerprod", "tpchq6"],
+            sizes_override=SMALL_SIZES,
+            compare_cycle_models=True,
+        )
+        from repro.schedule import DEFAULT_TOLERANCE
+
+        for name in ("outerprod", "tpchq6"):
+            result = report.result(name)
+            assert set(result.discrepancies) == {
+                "baseline",
+                "tiling",
+                "tiling+metapipelining",
+            }
+            # The calibration anchors stay within the documented tolerance.
+            for discrepancy in result.discrepancies.values():
+                assert discrepancy.within(DEFAULT_TOLERANCE), discrepancy.summary()
+        table = report.discrepancy_table()
+        assert "outerprod/tiling+metapipelining" in table
+        assert "ratio" in table
+
+    def test_discrepancy_table_empty_without_comparison(self):
+        report = run_figure7(benchmarks=["gemm"], sizes_override=SMALL_SIZES)
+        assert "compare_cycle_models" in report.discrepancy_table()
+
     def test_dse_best_is_a_point_result(self):
         from repro.dse.results import PointResult
 

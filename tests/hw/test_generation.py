@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.apps import get_benchmark
-from repro.compiler import compile_program
+from repro.pipeline import Session
 from repro.config import BASELINE, CompileConfig
 from repro.hw.controllers import MetapipelineController, ParallelController, SequentialController
 from repro.hw.templates import (
@@ -29,7 +29,7 @@ SIZES = {
 def _compile(name, config):
     bench = get_benchmark(name)
     bindings = bench.bindings(SIZES[name], np.random.default_rng(0))
-    return compile_program(bench.build(), config, bindings)
+    return Session().compile(bench.build(), config, bindings)
 
 
 def _tiled_config(name, metapipelining=True):

@@ -1,0 +1,170 @@
+"""Pass-manager fixed point and per-pass timing budgets."""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_benchmark
+from repro.config import CompileConfig
+from repro.dse.cache import ANALYSIS_CACHE, AnalysisCache
+from repro.errors import PipelineError
+from repro.pipeline import FixedPointPass, Session, default_pipeline, get_pipeline
+from repro.pipeline.passes import PassContext
+from repro.utils.naming import reset_names
+
+
+@pytest.fixture(autouse=True)
+def _fresh(request):
+    reset_names()
+    ANALYSIS_CACHE.clear()
+    yield
+    ANALYSIS_CACHE.clear()
+    reset_names()
+
+
+def _workload(name="gemm"):
+    bench = get_benchmark(name)
+    bindings = bench.bindings(rng=np.random.default_rng(0))
+    config = CompileConfig(
+        tiling=True, metapipelining=True, tile_sizes=dict(bench.tile_sizes)
+    )
+    return bench, bindings, config
+
+
+class TestFixedPointComposition:
+    def test_fixed_point_replaces_named_passes_in_place(self):
+        pipeline = default_pipeline().fixed_point(["post-cse", "post-code-motion"])
+        names = pipeline.pass_names
+        assert "post-cse" not in names and "post-code-motion" not in names
+        fused = "fixed-point(post-cse+post-code-motion)"
+        assert fused in names
+        # Position: where post-cse used to sit (right after interchange).
+        assert names.index(fused) == names.index("interchange") + 1
+
+    def test_caller_name_order_does_not_matter(self):
+        forward = default_pipeline().fixed_point(["post-cse", "post-code-motion"])
+        backward = default_pipeline().fixed_point(["post-code-motion", "post-cse"])
+        assert forward.pass_names == backward.pass_names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(PipelineError, match="no pass named"):
+            default_pipeline().fixed_point(["no-such-pass"])
+
+    def test_empty_group_raises(self):
+        with pytest.raises(PipelineError, match="at least one pass"):
+            default_pipeline().fixed_point([])
+        with pytest.raises(PipelineError, match="at least one pass"):
+            FixedPointPass([])
+
+    def test_registered_variant_resolves(self):
+        pipeline = get_pipeline("fixed-point-cleanup")
+        assert any(name.startswith("fixed-point(") for name in pipeline.pass_names)
+
+
+class TestFixedPointExecution:
+    def test_compiles_to_same_ir_as_plain_cleanup(self):
+        bench, bindings, config = _workload()
+        session = Session(cache=AnalysisCache())
+        plain = session.compile(bench.build(), config, bindings)
+        iterated = session.compile(
+            bench.build(),
+            config,
+            bindings,
+            pipeline=session.pipeline.fixed_point(["post-cse", "post-code-motion"]),
+        )
+        # One cleanup sweep already reaches the fixed point on the suite's
+        # benchmarks, so iterating must not change the final IR.
+        assert iterated.tiled_program.body.structural_hash() == (
+            plain.tiled_program.body.structural_hash()
+        )
+
+    def test_iteration_count_surfaced_in_report(self):
+        bench, bindings, config = _workload()
+        session = Session(cache=AnalysisCache())
+        result = session.compile(
+            bench.build(),
+            config,
+            bindings,
+            pipeline=session.pipeline.fixed_point(["post-cse", "post-code-motion"]),
+        )
+        record = result.report.record("fixed-point(post-cse+post-code-motion)")
+        assert record.iterations >= 1
+        assert "iters" in result.report.table()
+        as_dict = result.report.as_dict()
+        fused = next(
+            p for p in as_dict["passes"] if p["name"].startswith("fixed-point(")
+        )
+        assert fused["iterations"] == record.iterations
+
+    def test_memoised_rerun_restores_iteration_count(self):
+        bench, bindings, config = _workload()
+        session = Session(cache=AnalysisCache())
+        pipeline = session.pipeline.fixed_point(["post-cse", "post-code-motion"])
+        first = session.compile(bench.build(), config, bindings, pipeline=pipeline)
+        second = session.compile(bench.build(), config, bindings, pipeline=pipeline)
+        name = "fixed-point(post-cse+post-code-motion)"
+        assert second.report.record(name).cached
+        assert second.report.record(name).iterations == first.report.record(name).iterations
+
+    def test_max_iters_caps_the_loop(self):
+        bench, bindings, config = _workload()
+        session = Session(cache=AnalysisCache())
+        pipeline = session.pipeline.fixed_point(
+            ["post-cse", "post-code-motion"], max_iters=1
+        )
+        result = session.compile(bench.build(), config, bindings, pipeline=pipeline)
+        record = result.report.record("fixed-point(post-cse+post-code-motion)")
+        assert record.iterations == 1
+
+
+class TestBudgets:
+    def test_records_carry_budgets(self):
+        bench, bindings, config = _workload()
+        session = Session(cache=AnalysisCache())
+        result = session.compile(bench.build(), config, bindings)
+        for record in result.report.records:
+            assert record.budget_seconds > 0
+
+    def test_over_budget_flags_slow_uncached_passes(self):
+        from repro.pipeline.pipeline import PassRecord
+
+        slow = PassRecord(
+            name="slow", seconds=1.0, cached=False, nodes_before=1, nodes_after=1,
+            changed=False, budget_seconds=0.05,
+        )
+        cached = PassRecord(
+            name="cached", seconds=1.0, cached=True, nodes_before=1, nodes_after=1,
+            changed=False, budget_seconds=0.05,
+        )
+        fast = PassRecord(
+            name="fast", seconds=0.01, cached=False, nodes_before=1, nodes_after=1,
+            changed=False, budget_seconds=0.05,
+        )
+        assert slow.over_budget
+        assert not cached.over_budget  # cache hits are not the pass's cost
+        assert not fast.over_budget
+
+    def test_report_lists_over_budget_passes(self):
+        bench, bindings, config = _workload()
+        session = Session(cache=AnalysisCache())
+        result = session.compile(bench.build(), config, bindings)
+        report = result.report
+        for record in report.records:
+            record.budget_seconds = 1e-9  # force every uncached pass over
+        assert report.over_budget()
+        assert all(not r.cached for r in report.over_budget())
+        assert "!" in report.table()
+
+    def test_figure7_pass_table_has_budget_column_and_warns(self, monkeypatch):
+        from repro.evaluation.figure7 import run_figure7
+        from repro.pipeline.passes import PipelinePass
+
+        report = run_figure7(benchmarks=["sumrows"], report_passes=True)
+        table = report.pass_table()
+        assert "budget" in table.splitlines()[0]
+
+        # With an impossible budget every uncached pass breaches, the table
+        # flags it and the harness raises the RuntimeWarning.
+        monkeypatch.setattr(PipelinePass, "budget_seconds", 1e-12)
+        with pytest.warns(RuntimeWarning, match="exceeded their time budget"):
+            breached = run_figure7(benchmarks=["sumrows"], report_passes=True)
+        assert "!" in breached.pass_table()

@@ -132,7 +132,7 @@ class TestVariants:
 class TestInstrumentation:
     def test_report_records_every_pass_with_node_counts(self):
         cache = AnalysisCache()
-        pipeline = default_pipeline().without("generate-hardware", "estimate-area")
+        pipeline = default_pipeline().without("generate-hardware", "build-schedule", "estimate-area")
         ctx = PassContext(config=_tiling_config(), cache=cache)
         outcome = pipeline.run(_gemm_program(), ctx)
         report = outcome.report
@@ -145,7 +145,7 @@ class TestInstrumentation:
 
     def test_trace_keeps_intermediate_programs(self):
         cache = AnalysisCache()
-        pipeline = default_pipeline().without("generate-hardware", "estimate-area")
+        pipeline = default_pipeline().without("generate-hardware", "build-schedule", "estimate-area")
         outcome = pipeline.run(_gemm_program(), PassContext(config=_tiling_config(), cache=cache))
         strip_mined = outcome.stage("strip-mine")
         assert strip_mined is not None
@@ -156,7 +156,7 @@ class TestInstrumentation:
 class TestMemoisation:
     def test_second_run_hits_every_transform_pass(self):
         cache = AnalysisCache()
-        pipeline = default_pipeline().without("generate-hardware", "estimate-area")
+        pipeline = default_pipeline().without("generate-hardware", "build-schedule", "estimate-area")
         config = _tiling_config()
         program = _gemm_program()
         first = pipeline.run(program, PassContext(config=config, cache=cache))
@@ -167,7 +167,7 @@ class TestMemoisation:
     def test_structurally_identical_pass_output_still_hits_downstream(self):
         """A no-op pass inserted mid-pipeline must not break downstream hits."""
         cache = AnalysisCache()
-        pipeline = default_pipeline().without("generate-hardware", "estimate-area")
+        pipeline = default_pipeline().without("generate-hardware", "build-schedule", "estimate-area")
         config = _tiling_config()
         program = _gemm_program()
         pipeline.run(program, PassContext(config=config, cache=cache))
@@ -180,7 +180,7 @@ class TestMemoisation:
     def test_repeated_cleanup_shares_entries_across_positions(self):
         """post-cse hits the memo entry cse created for the identical input."""
         cache = AnalysisCache()
-        pipeline = default_pipeline().without("generate-hardware", "estimate-area")
+        pipeline = default_pipeline().without("generate-hardware", "build-schedule", "estimate-area")
         outcome = pipeline.run(
             _gemm_program(), PassContext(config=_tiling_config(), cache=cache)
         )
@@ -193,7 +193,7 @@ class TestMemoisation:
     def test_disabled_cache_recomputes(self):
         cache = AnalysisCache()
         cache.enabled = False
-        pipeline = default_pipeline().without("generate-hardware", "estimate-area")
+        pipeline = default_pipeline().without("generate-hardware", "build-schedule", "estimate-area")
         config = _tiling_config()
         program = _gemm_program()
         pipeline.run(program, PassContext(config=config, cache=cache))

@@ -1,11 +1,8 @@
-"""CompilerSession behaviour: compilation, instrumentation, caches, shims."""
-
-import warnings
+"""CompilerSession behaviour: compilation, instrumentation, caches."""
 
 import numpy as np
 import pytest
 
-from repro import compiler
 from repro.apps import get_benchmark
 from repro.config import BASELINE, CompileConfig
 from repro.dse.cache import ANALYSIS_CACHE, AnalysisCache
@@ -70,7 +67,7 @@ class TestSessionCompile:
 
     def test_transform_only_pipeline_still_generates_hardware(self):
         bench, bindings, config = _small_workload()
-        session = Session(pipeline=default_pipeline().without("generate-hardware", "estimate-area"))
+        session = Session(pipeline=default_pipeline().without("generate-hardware", "build-schedule", "estimate-area"))
         result = session.compile(bench.build(), config, bindings)
         assert result.design is not None
         assert result.area.total.logic > 0
@@ -96,7 +93,7 @@ class TestSessionCompile:
         transform_records = [
             record
             for record in warm.report.records
-            if record.name not in ("generate-hardware", "estimate-area")
+            if record.name not in ("generate-hardware", "build-schedule", "estimate-area")
         ]
         assert all(record.cached for record in transform_records)
 
@@ -139,7 +136,7 @@ class TestClearCaches:
         # Clean against the store: a dirty-gated save is skipped.
         assert not ANALYSIS_CACHE.save_disk(store, only_if_dirty=True)
 
-        compiler.clear_compilation_caches()
+        ANALYSIS_CACHE.clear()
         assert not ANALYSIS_CACHE.dirty
         # The cleared cache recompiles cold...
         cold = session.compile(bench.build(), config, bindings)
@@ -149,46 +146,12 @@ class TestClearCaches:
         assert ANALYSIS_CACHE.save_disk(store, only_if_dirty=True)
 
 
-class TestDeprecatedShims:
-    def test_compile_program_warns_exactly_once(self):
+class TestPipelineOverride:
+    def test_pipeline_without_fusion_drops_the_pass(self):
         bench, bindings, config = _small_workload()
-        compiler._reset_deprecation_warnings()
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            compiler.compile_program(bench.build(), config, bindings)
-            compiler.compile_program(bench.build(), config, bindings)
-        messages = [
-            w
-            for w in caught
-            if issubclass(w.category, DeprecationWarning) and "compile_program" in str(w.message)
-        ]
-        assert len(messages) == 1
-
-    def test_compile_point_warns_exactly_once(self):
-        bench, bindings, _ = _small_workload()
-        point = DesignPoint.make({name: 2 for name in get_benchmark("gemm").tile_sizes}, par=4)
-        compiler._reset_deprecation_warnings()
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            compiler.compile_point(bench.build(), point, bindings)
-            compiler.compile_point(bench.build(), point, bindings)
-        messages = [
-            w
-            for w in caught
-            if issubclass(w.category, DeprecationWarning) and "compile_point" in str(w.message)
-        ]
-        assert len(messages) == 1
-
-    def test_run_fusion_false_maps_to_pipeline_without_fusion(self):
-        bench, bindings, config = _small_workload()
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            shim = compiler.compile_program(bench.build(), config, bindings, run_fusion=False)
         session = Session()
         direct = session.compile(
             bench.build(), config, bindings, pipeline=session.pipeline.without("fusion")
         )
-        assert shim.tiled_program.body.structural_hash() == (
-            direct.tiled_program.body.structural_hash()
-        )
-        assert "fusion" not in [record.name for record in shim.report.records]
+        assert direct.design is not None
+        assert "fusion" not in [record.name for record in direct.report.records]

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.apps import all_benchmarks, get_benchmark
-from repro.compiler import compile_program
+from repro.pipeline import Session
 from repro.config import CompileConfig
 from repro.ppl import builder as b
 from repro.ppl.interp import Interpreter, run_program
@@ -54,7 +54,7 @@ class TestEveryAppMatches:
         config = CompileConfig(
             tiling=True, metapipelining=True, tile_sizes={k: 2 for k in bench.tile_sizes}
         )
-        tiled = compile_program(bench.build(), config, bindings).tiled_program
+        tiled = Session().compile(bench.build(), config, bindings).tiled_program
         reference = run_program(tiled, bindings, vectorize=False)
         fast = run_program(tiled, bindings, vectorize=True)
         assert_bit_identical(reference, fast)

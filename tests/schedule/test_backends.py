@@ -1,0 +1,197 @@
+"""Analytical-vs-event backend semantics and cross-benchmark parity."""
+
+import numpy as np
+import pytest
+
+from repro.apps import all_benchmarks
+from repro.config import BASELINE, CompileConfig
+from repro.errors import SimulationError
+from repro.hw.controllers import (
+    MetapipelineController,
+    ParallelController,
+    SequentialController,
+)
+from repro.hw.design import HardwareDesign
+from repro.hw.templates import TileLoad, VectorUnit
+from repro.pipeline import Session
+from repro.schedule import DEFAULT_TOLERANCE, compare_backends, get_backend
+from repro.schedule.event import EventScheduleBackend
+from repro.sim.engine import simulate
+from repro.sim.model import PerformanceModel
+from repro.target.device import DEFAULT_BOARD
+
+SIZES = {
+    "outerprod": {"m": 2048, "n": 2048},
+    "sumrows": {"m": 4096, "n": 128},
+    "gemm": {"m": 256, "n": 256, "p": 256},
+    "tpchq6": {"n": 262144},
+    "gda": {"n": 4096, "d": 16},
+    "kmeans": {"n": 8192, "k": 16, "d": 16},
+}
+
+
+def _design_with(top):
+    return HardwareDesign(
+        name="unit-test",
+        program_name="unit",
+        config=BASELINE,
+        top=top,
+        board=DEFAULT_BOARD,
+    )
+
+
+def _configs(bench):
+    tiles = dict(bench.tile_sizes)
+    return {
+        "baseline": BASELINE,
+        "tiling": CompileConfig(tiling=True, tile_sizes=tiles),
+        "tiling+metapipelining": CompileConfig(
+            tiling=True, metapipelining=True, tile_sizes=tiles
+        ),
+    }
+
+
+class TestBackendSelection:
+    def test_unknown_cycle_model_raises(self):
+        with pytest.raises(SimulationError, match="unknown cycle model"):
+            get_backend("spice")
+
+    def test_simulation_results_carry_backend_name(self):
+        top = SequentialController(
+            name="seq",
+            stages=[VectorUnit(name="v", lanes=1, elements=10, pipeline_depth=0)],
+        )
+        design = _design_with(top)
+        assert simulate(design).cycle_model == "analytical"
+        assert simulate(design, cycle_model="event").cycle_model == "event"
+
+
+class TestBenchmarkParity:
+    """The acceptance gate: event runs end-to-end on every registered
+    benchmark, agreeing with the analytical backend within the documented
+    tolerance (exactly, for designs with no pipelined overlap to model)."""
+
+    @pytest.mark.parametrize(
+        "bench", all_benchmarks(), ids=lambda bench: bench.name
+    )
+    def test_event_backend_parity_per_benchmark(self, bench):
+        bindings = bench.bindings(SIZES[bench.name], np.random.default_rng(0))
+        session = Session()
+        for label, config in _configs(bench).items():
+            result = session.compile(bench.build(), config, bindings)
+            discrepancy = compare_backends(result.schedule)
+            assert discrepancy.event_cycles > 0, (bench.name, label)
+            if label == "tiling+metapipelining":
+                assert discrepancy.within(DEFAULT_TOLERANCE), (
+                    bench.name,
+                    label,
+                    discrepancy.ratio,
+                )
+            else:
+                # No metapipelined overlap: the event timeline degenerates
+                # to the closed forms (modulo float association).
+                assert discrepancy.relative_error < 1e-6, (bench.name, label)
+
+    @pytest.mark.parametrize("name", ["outerprod", "tpchq6"])
+    def test_calibration_benchmarks_within_documented_tolerance(self, name):
+        """The two benchmarks the Figure 7 calibration anchors on."""
+        bench = next(b for b in all_benchmarks() if b.name == name)
+        bindings = bench.bindings(SIZES[name], np.random.default_rng(0))
+        config = _configs(bench)["tiling+metapipelining"]
+        result = Session().compile(bench.build(), config, bindings)
+        discrepancy = compare_backends(result.schedule)
+        assert discrepancy.within(DEFAULT_TOLERANCE), discrepancy.summary()
+
+
+class TestEventSemantics:
+    def test_sequential_and_parallel_match_analytical(self):
+        a = VectorUnit(name="a", lanes=1, elements=100, pipeline_depth=0)
+        b = VectorUnit(name="b", lanes=1, elements=50, pipeline_depth=0)
+        seq = _design_with(SequentialController(name="seq", stages=[a, b], iterations=3))
+        par = _design_with(ParallelController(name="par", stages=[a, b], iterations=1))
+        assert simulate(seq, cycle_model="event").cycles == pytest.approx(
+            simulate(seq).cycles
+        )
+        assert simulate(par, cycle_model="event").cycles == pytest.approx(
+            simulate(par).cycles
+        )
+
+    def test_metapipeline_overlap_beats_sequential(self):
+        model = PerformanceModel(metapipeline_sync=0)
+        load = VectorUnit(name="load", lanes=1, elements=10, pipeline_depth=0)
+        compute = VectorUnit(name="compute", lanes=1, elements=100, pipeline_depth=0)
+        meta = _design_with(
+            MetapipelineController(name="meta", stages=[load, compute], iterations=10)
+        )
+        seq = _design_with(
+            SequentialController(name="seq", stages=[load, compute], iterations=10)
+        )
+        meta_cycles = simulate(meta, model, cycle_model="event").cycles
+        seq_cycles = simulate(seq, model, cycle_model="event").cycles
+        # Steady state is set by the slowest stage, the fill by both.
+        assert meta_cycles == pytest.approx(110 + 9 * 100)
+        assert seq_cycles == pytest.approx(10 * 110)
+
+    def test_backpressure_stalls_a_fast_producer(self):
+        model = PerformanceModel(metapipeline_sync=0)
+        producer = VectorUnit(name="producer", lanes=1, elements=10, pipeline_depth=0)
+        consumer = VectorUnit(name="consumer", lanes=1, elements=100, pipeline_depth=0)
+        meta = _design_with(
+            MetapipelineController(
+                name="meta", stages=[producer, consumer], iterations=20
+            )
+        )
+        result = simulate(meta, model, cycle_model="event")
+        # The producer finishes each tile in 10 cycles but may only run one
+        # iteration ahead of the 100-cycle consumer: it stalls.
+        assert result.stall_cycles > 0
+
+    def test_concurrent_transfers_contend_for_the_channel(self):
+        load_a = TileLoad(name="load_a", bytes_per_invocation=1 << 16)
+        load_b = TileLoad(name="load_b", bytes_per_invocation=1 << 16)
+        par = _design_with(
+            ParallelController(name="par", stages=[load_a, load_b], iterations=1)
+        )
+        analytical = simulate(par)
+        event = simulate(par, cycle_model="event")
+        # Analytically the loads fully overlap (max); on the shared DRAM
+        # channel they serialize.
+        assert event.cycles > analytical.cycles
+        assert event.contention_cycles > 0
+
+    def test_unrolling_extrapolates_long_loops(self):
+        unit = VectorUnit(name="v", lanes=1, elements=10, pipeline_depth=0)
+        long_seq = _design_with(
+            SequentialController(name="seq", stages=[unit], iterations=100_000)
+        )
+        backend = EventScheduleBackend(unroll_limit=64)
+        event = backend.run(long_seq.schedule())
+        assert event.cycles == pytest.approx(simulate(long_seq).cycles)
+        # The aggregate accounting must cover the extrapolated tail too.
+        assert event.compute_cycles == pytest.approx(event.cycles)
+
+    def test_extrapolated_stalls_scale_with_iterations(self):
+        model = PerformanceModel(metapipeline_sync=0)
+        producer = VectorUnit(name="producer", lanes=1, elements=10, pipeline_depth=0)
+        consumer = VectorUnit(name="consumer", lanes=1, elements=100, pipeline_depth=0)
+
+        def stalls(iterations, unroll_limit):
+            meta = _design_with(
+                MetapipelineController(
+                    name="meta", stages=[producer, consumer], iterations=iterations
+                )
+            )
+            backend = EventScheduleBackend(model, unroll_limit=unroll_limit)
+            return backend.run(meta.schedule()).stall_cycles
+
+        explicit = stalls(1000, unroll_limit=2000)
+        extrapolated = stalls(1000, unroll_limit=50)
+        # A capped run must report stalls for the whole loop, not just the
+        # explicitly simulated prefix (10% slack for the warm-up iteration).
+        assert extrapolated == pytest.approx(explicit, rel=0.1)
+
+    def test_event_per_module_accumulates_across_iterations(self):
+        unit = VectorUnit(name="v", lanes=1, elements=10, pipeline_depth=0)
+        seq = _design_with(SequentialController(name="seq", stages=[unit], iterations=4))
+        event = simulate(seq, cycle_model="event")
+        assert event.per_module_cycles["v"] == pytest.approx(40)

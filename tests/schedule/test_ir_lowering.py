@@ -1,0 +1,218 @@
+"""Lowering designs to the Schedule IR, and the schedule-derived inventories."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.area import estimate_area, estimate_area_of_schedule
+from repro.analysis.traffic import schedule_traffic
+from repro.apps import all_benchmarks, get_benchmark
+from repro.codegen.maxj import generate_maxj
+from repro.config import BASELINE, CompileConfig
+from repro.pipeline import Session
+from repro.schedule import (
+    ComputeNode,
+    MetapipelineSchedule,
+    ParallelSchedule,
+    SequentialSchedule,
+    StreamNode,
+    TransferNode,
+    build_schedule,
+)
+
+SIZES = {
+    "outerprod": {"m": 512, "n": 512},
+    "sumrows": {"m": 2048, "n": 128},
+    "gemm": {"m": 128, "n": 128, "p": 128},
+    "tpchq6": {"n": 65536},
+    "gda": {"n": 2048, "d": 16},
+    "kmeans": {"n": 4096, "k": 16, "d": 16},
+}
+
+
+def _compile(name, config):
+    bench = get_benchmark(name)
+    bindings = bench.bindings(SIZES[name], np.random.default_rng(0))
+    return Session().compile(bench.build(), config, bindings)
+
+
+def _meta_config(name):
+    bench = get_benchmark(name)
+    return CompileConfig(
+        tiling=True, metapipelining=True, tile_sizes=dict(bench.tile_sizes)
+    )
+
+
+class TestLowering:
+    @pytest.mark.parametrize("name", sorted(SIZES))
+    def test_schedule_modules_mirror_design_modules(self, name):
+        result = _compile(name, _meta_config(name))
+        schedule = result.design.schedule()
+        assert [id(m) for m in schedule.modules()] == [
+            id(m) for m in result.design.all_modules()
+        ]
+
+    def test_schedule_is_cached_on_the_design(self):
+        result = _compile("sumrows", _meta_config("sumrows"))
+        assert result.design.schedule() is result.design.schedule()
+        assert build_schedule(result.design) is result.design.schedule()
+
+    def test_compilation_result_carries_the_same_schedule_object(self):
+        result = _compile("sumrows", _meta_config("sumrows"))
+        assert result.schedule is result.design.schedule()
+
+    def test_metapipelined_design_lowers_to_metapipeline_groups(self):
+        schedule = _compile("sumrows", _meta_config("sumrows")).schedule
+        assert schedule.nodes_of(MetapipelineSchedule)
+        assert schedule.metapipeline_stages()
+        assert schedule.double_buffers
+
+    def test_tiling_without_metapipelining_has_no_meta_groups(self):
+        bench = get_benchmark("sumrows")
+        config = CompileConfig(tiling=True, tile_sizes=dict(bench.tile_sizes))
+        schedule = _compile("sumrows", config).schedule
+        assert not schedule.nodes_of(MetapipelineSchedule)
+        assert schedule.nodes_of(SequentialSchedule)
+        assert not schedule.double_buffers
+
+    def test_baseline_lowers_to_streams_under_parallel_groups(self):
+        schedule = _compile("sumrows", BASELINE).schedule
+        assert schedule.nodes_of(ParallelSchedule)
+        assert schedule.streams
+        assert all(isinstance(node, StreamNode) for node in schedule.streams)
+
+    def test_transfers_carry_burst_sizes(self):
+        schedule = _compile("gemm", _meta_config("gemm")).schedule
+        transfers = schedule.transfers
+        assert transfers
+        for transfer in transfers:
+            assert transfer.burst_bytes == schedule.board.memory.burst_bytes
+            assert transfer.bursts * transfer.burst_bytes >= transfer.bytes_per_invocation
+
+    def test_compute_leaves_carry_parallelism_factors(self):
+        result = _compile("gemm", _meta_config("gemm"))
+        lanes = {node.lanes for node in result.schedule.compute_nodes}
+        assert lanes and all(value >= 1 for value in lanes)
+
+    def test_summary_mentions_structure(self):
+        schedule = _compile("sumrows", _meta_config("sumrows")).schedule
+        text = schedule.summary()
+        assert "transfers" in text and "double buffers" in text
+
+
+class TestScheduleDerivedArea:
+    @pytest.mark.parametrize("name", ["sumrows", "gemm", "kmeans"])
+    def test_schedule_area_equals_design_area(self, name):
+        result = _compile(name, _meta_config(name))
+        via_design = estimate_area(result.design)
+        via_schedule = estimate_area_of_schedule(result.schedule)
+        assert via_schedule.total.logic == via_design.total.logic
+        assert via_schedule.total.ffs == via_design.total.ffs
+        assert via_schedule.total.bram_bits == via_design.total.bram_bits
+        assert via_schedule.by_kind.keys() == via_design.by_kind.keys()
+
+
+class TestTransferInventory:
+    @pytest.mark.parametrize("name", ["outerprod", "sumrows", "gemm", "tpchq6"])
+    def test_inventory_matches_design_read_accounting(self, name):
+        """Benchmarks without caches: every accounted byte has a transfer."""
+        result = _compile(name, _meta_config(name))
+        inventory = schedule_traffic(result.schedule)
+        assert inventory.read_bytes == result.design.main_memory_read_bytes
+        assert inventory.write_bytes == result.design.main_memory_write_bytes
+
+    @pytest.mark.parametrize("name", sorted(SIZES))
+    def test_inventory_never_exceeds_design_accounting(self, name):
+        """Cache-served accesses are accounted without a transfer unit, so
+        the schedule inventory is a lower bound on the design counters."""
+        result = _compile(name, _meta_config(name))
+        inventory = schedule_traffic(result.schedule)
+        assert inventory.read_bytes <= result.design.main_memory_read_bytes
+        assert inventory.write_bytes <= result.design.main_memory_write_bytes
+
+    def test_baseline_inventory_counts_streams(self):
+        result = _compile("sumrows", BASELINE)
+        inventory = schedule_traffic(result.schedule)
+        assert any(record.kind == "stream" for record in inventory.records)
+        assert inventory.read_bytes > 0
+        assert "transfer inventory" in inventory.summary()
+
+    def test_baseline_inventory_splits_output_writes_from_reads(self):
+        """The result store folded into the last stream is a write, not a read."""
+        result = _compile("sumrows", BASELINE)
+        inventory = schedule_traffic(result.schedule)
+        assert inventory.write_bytes == result.design.main_memory_write_bytes
+        # The design's read counter folds the store traffic in (the write
+        # stream shares the streaming bandwidth), so the split halves add
+        # back up to it.
+        assert (
+            inventory.read_bytes + inventory.write_bytes
+            == result.design.main_memory_read_bytes
+        )
+
+    def test_tiled_inventory_multiplies_trips(self):
+        result = _compile("gemm", _meta_config("gemm"))
+        inventory = schedule_traffic(result.schedule)
+        loads = [record for record in inventory.records if record.kind == "load"]
+        assert loads
+        assert any(record.trips > 1 for record in loads)
+        assert inventory.total_bursts > 0
+
+
+class TestCodegenFromSchedule:
+    def test_generate_maxj_renders_hand_built_schedules(self):
+        """Module-less Schedule nodes (no originating template) still emit."""
+        from repro.schedule import Schedule, SequentialSchedule
+        from repro.target.device import DEFAULT_BOARD
+
+        root = SequentialSchedule(
+            name="seq",
+            stages=[ComputeNode(name="reduce", unit="reduction", lanes=8)],
+        )
+        schedule = Schedule(
+            name="hand-built",
+            program_name="hand_built",
+            config_label="unit",
+            root=root,
+            board=DEFAULT_BOARD,
+        )
+        code = generate_maxj(schedule)
+        assert "ReductionTree reduce = pipe.reduceTree(lanes=8, depth=3" in code
+
+    def test_memory_in_stage_tree_still_instantiates(self):
+        """A Buffer placed as a controller stage renders, not a comment."""
+        from repro.hw.controllers import SequentialController
+        from repro.hw.design import HardwareDesign
+        from repro.hw.templates import Buffer, VectorUnit
+
+        top = SequentialController(
+            name="seq",
+            stages=[
+                Buffer(name="scratch", depth_words=64, source="x"),
+                VectorUnit(name="vec", lanes=4, elements=16),
+            ],
+        )
+        design = HardwareDesign(
+            name="hand-built", program_name="hand_built", config=BASELINE, top=top
+        )
+        code = generate_maxj(design)
+        assert 'Buffer scratch = mem.alloc("x", depth=64' in code
+        assert "unhandled" not in code
+
+    def test_generate_maxj_accepts_a_schedule(self):
+        result = _compile("gemm", _meta_config("gemm"))
+        from_schedule = generate_maxj(result.schedule)
+        from_result = generate_maxj(result)
+        for node in result.schedule.walk():
+            if isinstance(node, (TransferNode, StreamNode, ComputeNode)):
+                assert node.name in from_schedule
+                assert node.name in from_result
+        for memory in result.schedule.memories:
+            assert memory.name in from_schedule
+
+    def test_emitted_structure_is_the_simulated_structure(self):
+        """The emitter walks the same schedule object the backends time."""
+        result = _compile("sumrows", _meta_config("sumrows"))
+        code = generate_maxj(result.schedule)
+        for name, stages in result.schedule.metapipeline_stages().items():
+            assert f"Metapipeline {name} = control.metapipeline(" in code
+        assert "schedule: depth" in code

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.apps import get_benchmark
-from repro.compiler import compile_program
+from repro.pipeline import Session
 from repro.config import BASELINE, CompileConfig
 from repro.hw.controllers import MetapipelineController, ParallelController, SequentialController
 from repro.hw.design import HardwareDesign
@@ -78,7 +78,7 @@ class TestEndToEndSimulation:
     def test_speedup_of_identical_results_is_one(self):
         bench = get_benchmark("sumrows")
         bindings = bench.bindings({"m": 1024, "n": 128}, np.random.default_rng(0))
-        result = compile_program(bench.build(), BASELINE, bindings)
+        result = Session().compile(bench.build(), BASELINE, bindings)
         sim = result.simulate()
         assert speedup(sim, sim) == 1.0
 
@@ -86,10 +86,11 @@ class TestEndToEndSimulation:
         bench = get_benchmark("gda")
         bindings = bench.bindings({"n": 4096, "d": 16}, np.random.default_rng(0))
         tiles = dict(bench.tile_sizes)
-        tiled = compile_program(
+        session = Session()
+        tiled = session.compile(
             bench.build(), CompileConfig(tiling=True, tile_sizes=tiles), bindings
         ).simulate()
-        meta = compile_program(
+        meta = session.compile(
             bench.build(),
             CompileConfig(tiling=True, metapipelining=True, tile_sizes=tiles),
             bindings,
@@ -99,7 +100,7 @@ class TestEndToEndSimulation:
     def test_result_metrics(self):
         bench = get_benchmark("tpchq6")
         bindings = bench.bindings({"n": 65536}, np.random.default_rng(0))
-        sim = compile_program(bench.build(), BASELINE, bindings).simulate()
+        sim = Session().compile(bench.build(), BASELINE, bindings).simulate()
         assert sim.seconds > 0
         assert sim.bound in ("compute", "memory")
         assert "tpchq6" in sim.summary()
