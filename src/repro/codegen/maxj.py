@@ -136,9 +136,15 @@ def generate_maxj(design) -> str:
     elif isinstance(design, HardwareDesign):
         schedule = design.schedule()
     else:
-        # A CompilationResult (or anything shaped like one).
+        # A CompilationResult (or anything shaped like one).  Its
+        # ``schedule`` is authoritative: when the rewrite-schedule stage
+        # ran, that is the rewritten (coalesced / rebalanced) schedule the
+        # cycle backends timed — emitting the design's pristine cached
+        # schedule instead would silently ship the unoptimised structure.
         report = getattr(design, "report", None)
-        schedule = design.design.schedule()
+        schedule = getattr(design, "schedule", None)
+        if not isinstance(schedule, Schedule):
+            schedule = design.design.schedule()
     class_name = (
         "".join(part.capitalize() for part in schedule.program_name.split("_")) + "Kernel"
     )

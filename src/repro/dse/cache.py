@@ -79,7 +79,11 @@ _MISSING = object()
 #: moved to per-pass ``pipeline_pass`` memoisation.
 #: v4: point-result keys gained the ``cycle_model`` backend and pipeline
 #: signatures gained the ``build-schedule`` terminal pass.
-CACHE_VERSION = 4
+#: v5: the ``rewrite`` pipeline variant (schedule rewriter) joined the
+#: variant registry and the ``pipeline`` gene's value space — point-result
+#: keys embed its pass signature, so stores written before the rewriter
+#: existed are retired.
+CACHE_VERSION = 5
 
 #: Default per-table LRU bound of the process-global cache.  Generous enough
 #: that single sweeps never evict, small enough that week-long CI processes

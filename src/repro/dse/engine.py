@@ -478,6 +478,7 @@ def explore(
     search_seed: int = 0,
     disk_cache: Optional[object] = None,
     cycle_model: str = "analytical",
+    pipelines: Optional[Sequence[str]] = None,
 ) -> ExplorationResult:
     """Explore a benchmark's design space and return Pareto-ranked results.
 
@@ -518,6 +519,10 @@ def explore(
             ``"analytical"`` (closed forms, the default) or ``"event"``
             (event-driven, with stage overlap / stalls / contention).
             Memoised point results are keyed per backend.
+        pipelines: pass-pipeline variants the default space sweeps as the
+            ``pipeline`` gene (e.g. ``("default", "rewrite")`` to search
+            with and without the schedule rewriter).  Only consulted when
+            ``space`` is None; an explicit space carries its own genes.
     """
     from repro.dse.search import get_strategy, run_search
 
@@ -527,7 +532,9 @@ def explore(
     program = benchmark.build()
     if space is None:
         tiled_dims = {name: sizes[name] for name in benchmark.tile_sizes if name in sizes}
-        space = default_space(tiled_dims)
+        space = default_space(
+            tiled_dims, pipelines=tuple(pipelines) if pipelines else ("default",)
+        )
 
     from repro.analysis.estimate import input_shapes
 
@@ -679,6 +686,7 @@ class MultiBenchmarkExplorer:
         max_evaluations: Optional[int] = None,
         disk_cache: Optional[object] = None,
         cycle_model: str = "analytical",
+        pipelines: Optional[Sequence[str]] = None,
     ) -> None:
         self.benchmarks = [
             get_benchmark(bench) if isinstance(bench, str) else bench for bench in benchmarks
@@ -696,6 +704,7 @@ class MultiBenchmarkExplorer:
         self.max_evaluations = max_evaluations
         self.disk_cache = disk_cache
         self.cycle_model = cycle_model
+        self.pipelines = tuple(pipelines) if pipelines else ("default",)
 
     def _build_lanes(self) -> List[_Lane]:
         from repro.analysis.estimate import input_shapes
@@ -709,7 +718,7 @@ class MultiBenchmarkExplorer:
             tiled_dims = {
                 name: sizes[name] for name in benchmark.tile_sizes if name in sizes
             }
-            space = default_space(tiled_dims)
+            space = default_space(tiled_dims, pipelines=self.pipelines)
             shapes = input_shapes(program, bindings)
             survivors, pruned = _prune_space(
                 space, shapes, sizes, self.board, self.budget, self.prune

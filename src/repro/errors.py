@@ -45,3 +45,7 @@ class ConfigurationError(ReproError):
 
 class PipelineError(ReproError):
     """Raised when a pass pipeline is mis-assembled or mis-addressed."""
+
+
+class ScheduleRewriteError(ReproError):
+    """Raised when a schedule rewrite breaks a preservation invariant."""

@@ -313,6 +313,7 @@ def run_figure7(
     dse_eval_fraction: Optional[float] = 0.4,
     dse_shared_pool: bool = True,
     dse_disk_cache: Optional[object] = None,
+    dse_pipelines: Optional[Sequence[str]] = None,
     report_passes: bool = False,
     cycle_model: str = "analytical",
     compare_cycle_models: bool = False,
@@ -348,7 +349,10 @@ def run_figure7(
     (the default) every benchmark's search runs through **one** shared
     worker pool with interleaved scheduling instead of one pool per sweep;
     ``dse_disk_cache`` names a persisted analysis store so repeated runs
-    (CI) skip already-evaluated points.
+    (CI) skip already-evaluated points.  ``dse_pipelines`` names the
+    pass-pipeline variants the search sweeps as the ``pipeline`` gene —
+    e.g. ``("default", "rewrite")`` lets the search decide per benchmark
+    whether the schedule rewriter pays off.
     """
     names = list(benchmarks) if benchmarks else [bench.name for bench in all_benchmarks()]
     tasks = [
@@ -419,6 +423,7 @@ def run_figure7(
                 eval_fraction=eval_fraction,
                 disk_cache=dse_disk_cache,
                 cycle_model=cycle_model,
+                pipelines=dse_pipelines,
             ).run()
         else:
             explorations = {
@@ -432,6 +437,7 @@ def run_figure7(
                     eval_fraction=eval_fraction,
                     disk_cache=dse_disk_cache,
                     cycle_model=cycle_model,
+                    pipelines=dse_pipelines,
                 )
                 for name in names
             }

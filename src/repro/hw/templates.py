@@ -151,12 +151,9 @@ class ReductionTree(HardwareModule):
 
     @property
     def tree_depth(self) -> int:
-        depth = 0
-        lanes = max(1, self.lanes)
-        while lanes > 1:
-            lanes //= 2
-            depth += 1
-        return depth
+        # ceil(log2(lanes)): non-power-of-two trees need a level for the
+        # odd input that rides through (5 lanes -> 3 levels, not 2).
+        return (max(1, self.lanes) - 1).bit_length()
 
 
 @dataclass

@@ -55,12 +55,18 @@ __all__ = [
     "InterchangeStage",
     "GenerateHardwareStage",
     "BuildScheduleStage",
+    "RewriteScheduleStage",
     "EstimateAreaStage",
 ]
 
 #: Context key through which a pass reports how many internal iterations it
 #: ran (the fixed-point pass); the pipeline pops it into the pass record.
 PASS_ITERATIONS_KEY = "_pass_iterations"
+
+#: Context key through which a pass deposits structured per-run details
+#: (e.g. the schedule rewriter's per-rewrite hit counts and cycle delta);
+#: the pipeline pops it into the pass record's ``details``.
+PASS_DETAILS_KEY = "_pass_details"
 
 
 @dataclass
@@ -329,6 +335,88 @@ class BuildScheduleStage(PipelinePass):
             )
         ctx.artifacts["schedule"] = design.schedule()
         return program
+
+
+class RewriteScheduleStage(PipelinePass):
+    """Terminal pass: optimise the schedule before it is timed and emitted.
+
+    Runs the schedule rewriter (:mod:`repro.schedule.rewrite`) — transfer
+    coalescing, stage rebalancing, degenerate-group flattening — on the
+    schedule deposited by ``build-schedule`` and replaces
+    ``ctx.artifacts["schedule"]`` with the rewritten copy, so every
+    downstream consumer (cycle backends, area estimate, traffic inventory,
+    MaxJ emission) sees the optimised structure.  The design's own cached
+    schedule is never mutated: with this stage absent (the ``default``
+    pipeline) nothing changes, bit for bit.
+
+    Per-rewrite hit counts — and, with ``measure_cycles`` (the default),
+    the before/after event-backend cycle delta — are reported through the
+    pass record's ``details`` in the :class:`PipelineReport`.  Never
+    memoised: the schedule is a workload-bound artifact, exactly like the
+    design it was lowered from.
+    """
+
+    name = "rewrite-schedule"
+    budget_seconds = 0.100
+
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        balance_factor: Optional[float] = None,
+        measure_cycles: bool = True,
+    ) -> None:
+        super().__init__(name)
+        self.balance_factor = balance_factor
+        self.measure_cycles = measure_cycles
+
+    def run(self, program: Program, ctx: PassContext) -> Program:
+        from repro.schedule.rewrite import DEFAULT_BALANCE_FACTOR, rewrite_schedule
+
+        schedule = ctx.artifacts.get("schedule")
+        if schedule is None:
+            raise PipelineError(
+                "rewrite-schedule needs a schedule: run build-schedule earlier "
+                "in the pipeline"
+            )
+        result = rewrite_schedule(
+            schedule,
+            model=ctx.model,
+            balance_factor=(
+                self.balance_factor
+                if self.balance_factor is not None
+                else DEFAULT_BALANCE_FACTOR
+            ),
+        )
+        ctx.artifacts["schedule"] = result.schedule
+        details: Dict[str, object] = {
+            "rewrite_hits": dict(result.hits),
+            "rewrite_rounds": result.rounds,
+        }
+        if self.measure_cycles:
+            from repro.schedule.event import EventScheduleBackend
+
+            if result.changed:
+                before = EventScheduleBackend(ctx.model).run(schedule).cycles
+                after = EventScheduleBackend(ctx.model).run(result.schedule).cycles
+            else:
+                # No rewrite fired: the schedules are structurally
+                # identical, so one event run prices both.
+                before = after = EventScheduleBackend(ctx.model).run(schedule).cycles
+            details["event_cycles_before"] = before
+            details["event_cycles_after"] = after
+        ctx.artifacts[PASS_DETAILS_KEY] = details
+        return program
+
+    def signature(self) -> Tuple[str, str]:
+        """Fold the (resolved) balance factor in: it changes the rewritten
+        schedule, so point-result cache keys must distinguish rewriter
+        tunings — including a future change of the default factor."""
+        from repro.schedule.rewrite import DEFAULT_BALANCE_FACTOR
+
+        factor = (
+            self.balance_factor if self.balance_factor is not None else DEFAULT_BALANCE_FACTOR
+        )
+        return (f"{type(self).__name__}[bf={factor}]", self.name)
 
 
 class EstimateAreaStage(PipelinePass):

@@ -34,7 +34,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import PipelineError
-from repro.pipeline.passes import PASS_ITERATIONS_KEY, PassContext, PipelinePass
+from repro.pipeline.passes import (
+    PASS_DETAILS_KEY,
+    PASS_ITERATIONS_KEY,
+    PassContext,
+    PipelinePass,
+)
 from repro.ppl.program import Program
 from repro.ppl.traversal import count_nodes
 
@@ -72,6 +77,9 @@ class PassRecord:
     # and the pass's advisory wall-clock budget.
     iterations: int = 1
     budget_seconds: float = 0.0
+    # Structured per-run details a pass deposited (e.g. the schedule
+    # rewriter's per-rewrite hit counts and event-cycle delta).
+    details: Dict[str, object] = field(default_factory=dict)
 
     @property
     def node_delta(self) -> int:
@@ -156,6 +164,7 @@ class PipelineReport:
                     "iterations": record.iterations,
                     "nodes_before": record.nodes_before,
                     "nodes_after": record.nodes_after,
+                    "details": dict(record.details),
                 }
                 for record in self.records
             ],
@@ -350,6 +359,7 @@ class Pipeline:
                     ),
                     iterations=ctx.artifacts.pop(PASS_ITERATIONS_KEY, 1),
                     budget_seconds=pass_.budget_seconds,
+                    details=ctx.artifacts.pop(PASS_DETAILS_KEY, {}),
                 )
             )
             trace.append((pass_.name, next_program))

@@ -19,7 +19,12 @@ graph:
   the same Schedule, modelling stage overlap, double-buffer backpressure
   stalls and DRAM-channel contention;
 * :mod:`repro.schedule.compare` — analytical-vs-event discrepancy reports
-  used to calibrate the analytical model's knobs.
+  used to calibrate the analytical model's knobs;
+* :mod:`repro.schedule.rewrite` — the schedule-level rewriter (transfer
+  coalescing, stage rebalancing, degenerate-group flattening) with a
+  legality checker proving the memory inventory, module set and DRAM
+  traffic are preserved; run as the ``rewrite-schedule`` pipeline stage of
+  the ``rewrite`` pipeline variant.
 
 Every downstream consumer — the simulator backends, the area model, the
 traffic inventory and the MaxJ code generator — reads the same Schedule
@@ -49,6 +54,16 @@ from repro.schedule.compare import (
     discrepancy_table,
     get_backend,
 )
+from repro.schedule.rewrite import (
+    DegenerateGroupFlattening,
+    Rewrite,
+    RewriteResult,
+    ScheduleRewriter,
+    StageRebalancing,
+    TransferCoalescing,
+    rewrite_schedule,
+    verify_rewrite,
+)
 
 __all__ = [
     "AnalyticalScheduleBackend",
@@ -56,18 +71,26 @@ __all__ = [
     "ComputeNode",
     "CycleDiscrepancy",
     "DEFAULT_TOLERANCE",
+    "DegenerateGroupFlattening",
     "EventScheduleBackend",
     "discrepancy_table",
     "MemoryNode",
     "MetapipelineSchedule",
     "ParallelSchedule",
+    "Rewrite",
+    "RewriteResult",
     "Schedule",
     "ScheduleNode",
+    "ScheduleRewriter",
     "SequentialSchedule",
     "StageGroup",
+    "StageRebalancing",
     "StreamNode",
+    "TransferCoalescing",
     "TransferNode",
     "build_schedule",
     "compare_backends",
     "get_backend",
+    "rewrite_schedule",
+    "verify_rewrite",
 ]

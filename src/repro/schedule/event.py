@@ -25,9 +25,13 @@ contention — which is precisely the discrepancy the calibration report
 
 Long loops are unrolled up to :data:`EVENT_UNROLL_LIMIT` iterations and
 then extrapolated at the observed steady-state rate, keeping the event
-count (and wall-clock) bounded for million-iteration baseline designs;
-the aggregate stall / contention / compute / memory accounting is scaled
-with the extrapolated tail (per-node cycles stay explicit-window-only).
+count (and wall-clock) bounded for million-iteration baseline designs.
+For metapipelines both the makespan tail and the scaled aggregate
+stall / contention / compute / memory accounting are derived from the
+same post-fill steady-state window — the fill-heavy warm-up iterations
+extrapolate neither — and a single-iteration explicit window (pure fill)
+falls back to the slowest stage's period rather than treating the fill as
+steady state.  Per-node cycles stay explicit-window-only.
 """
 
 from __future__ import annotations
@@ -112,7 +116,16 @@ class EventScheduleBackend:
 
     # -- event evaluation ----------------------------------------------------
     def _run(self, node: ScheduleNode, start: float) -> float:
-        """Simulate one invocation of ``node`` beginning at ``start``."""
+        """Simulate one invocation of ``node`` beginning at ``start``.
+
+        ``per_module_cycles`` books each node's *service* time: for
+        transfer and stream leaves that is the closed-form duration alone —
+        the wait for the shared DRAM channel is accounted once, in
+        ``contention_cycles``, never folded into a node's busy time (the
+        calibration report would otherwise double-read the same wait as
+        both contention and node load).
+        """
+        busy = None
         if isinstance(node, MetapipelineSchedule):
             finish = self._metapipeline(node, start)
         elif isinstance(node, ParallelSchedule):
@@ -127,10 +140,12 @@ class EventScheduleBackend:
             duration = self._transfer_duration(node.bytes_per_invocation)
             self._memory_cycles += duration
             finish = self._channel.transfer(start, duration)
+            busy = duration
         elif isinstance(node, StreamNode):
             duration = self._stream_duration(node)
             self._memory_cycles += duration
             finish = self._channel.transfer(start, duration)
+            busy = duration
         elif isinstance(node, ComputeNode):
             duration = self._pipeline_duration(node)
             self._compute_cycles += duration
@@ -139,7 +154,9 @@ class EventScheduleBackend:
             finish = start  # untimed memory leaf
         else:  # pragma: no cover - exhaustive over the Schedule IR
             raise SimulationError(f"no event rule for schedule node {node.kind}")
-        self._per_node[node.name] = self._per_node.get(node.name, 0.0) + (finish - start)
+        if busy is None:
+            busy = finish - start
+        self._per_node[node.name] = self._per_node.get(node.name, 0.0) + busy
         return finish
 
     def _sequential_round(self, group: SequentialSchedule, start: float) -> float:
@@ -206,10 +223,20 @@ class EventScheduleBackend:
         stage_free = [start] * n
         prev_begin = [start] * n
         explicit = min(group.iterations, self.unroll_limit)
-        snapshot = self._counters()
+        # The pipeline fills over roughly the first n iterations (and the
+        # backpressure pattern settles with it); the extrapolation window
+        # covers only the iterations after that warm-up, so the makespan
+        # tail and the scaled counters both describe the *same* steady
+        # state — fill-heavy early iterations extrapolate neither.
+        warmup = min(explicit - 1, n)
+        window_snapshot = self._counters()
+        window_finish = start
+        stage_durations = [0.0] * n
         finish = start
-        last_delta = 0.0
         for iteration in range(explicit):
+            if iteration == warmup:
+                window_snapshot = self._counters()
+                window_finish = finish
             upstream_done = start
             begins = [start] * n
             for i, stage in enumerate(stages):
@@ -222,22 +249,31 @@ class EventScheduleBackend:
                         self._buffer_stall_cycles += released - begin
                         begin = released
                 begins[i] = begin
-                upstream_done = self._run(stage, begin) + sync
+                done = self._run(stage, begin)
+                stage_durations[i] = done - begin
+                upstream_done = done + sync
                 stage_free[i] = upstream_done
             prev_begin = begins
-            previous_finish = finish
             finish = max(stage_free)
-            last_delta = finish - previous_finish if iteration > 0 else last_delta
         remaining = group.iterations - explicit
         if remaining > 0:
-            # Steady state: every further iteration advances the makespan by
-            # the observed per-iteration delta (the slowest stage's period
-            # including sync, stalls and contention).
-            per_iteration = (
-                last_delta if last_delta > 0 else (finish - start) / max(1, explicit)
-            )
+            window = explicit - warmup
+            if explicit > 1:
+                # Steady state: every further iteration advances the
+                # makespan at the rate observed over the post-warm-up
+                # window (the slowest stage's period including sync, stalls
+                # and contention); the aggregate counters scale at that
+                # same window's accrual rate.
+                per_iteration = (finish - window_finish) / window
+                self._extrapolate_counters(window_snapshot, remaining / window)
+            else:
+                # One explicit iteration is pure pipeline fill (every stage
+                # runs back to back, no overlap, no backpressure): its
+                # makespan is the sum of the stages where the steady-state
+                # period is the slowest stage plus the sync handshake.
+                per_iteration = max(stage_durations) + sync
+                self._extrapolate_counters(window_snapshot, float(remaining))
             finish += per_iteration * remaining
-            self._extrapolate_counters(snapshot, remaining / explicit)
         return finish
 
     # -- leaf durations (shared closed forms, repro.schedule.costs) ----------

@@ -53,10 +53,19 @@ __all__ = [
 
 @dataclass
 class ScheduleNode:
-    """Base class of every node in the schedule tree."""
+    """Base class of every node in the schedule tree.
+
+    ``extra_modules`` carries hardware modules whose schedule nodes were
+    merged away by the schedule rewriter (a coalesced transfer absorbs its
+    partner's command generator, a flattened degenerate group's child
+    absorbs the group's controller): the rewriter changes *when* things
+    run, never *what* hardware exists, so the module inventory — and
+    therefore the area report — is preserved across rewrites.
+    """
 
     name: str
     module: Optional[HardwareModule] = None
+    extra_modules: List[HardwareModule] = field(default_factory=list)
 
     @property
     def kind(self) -> str:
@@ -118,13 +127,13 @@ class ComputeNode(ScheduleNode):
 
     @property
     def tree_depth(self) -> int:
-        """Log-depth of a reduction tree over ``lanes`` inputs (0 for one lane)."""
-        depth = 0
-        lanes = max(1, self.lanes)
-        while lanes > 1:
-            lanes //= 2
-            depth += 1
-        return depth
+        """Log-depth of a reduction tree over ``lanes`` inputs (0 for one lane).
+
+        ``ceil(log2(lanes))``: a tree over 5 inputs needs 3 levels (the odd
+        input rides through a level), not the 2 that repeated floor-halving
+        would give.
+        """
+        return (max(1, self.lanes) - 1).bit_length()
 
 
 @dataclass
@@ -236,9 +245,16 @@ class Schedule:
         Mirrors :meth:`repro.hw.design.HardwareDesign.all_modules` exactly —
         controllers and timed leaves in tree order, then the memory
         inventory — so the area model aggregates identical totals whether it
-        walks the design or the schedule.
+        walks the design or the schedule.  Rewritten schedules additionally
+        yield each node's ``extra_modules`` (hardware absorbed by merged or
+        flattened nodes), keeping the module multiset — and the area totals
+        — invariant under schedule rewriting.
         """
-        ordered = [node.module for node in self.walk() if node.module is not None]
+        ordered: List[HardwareModule] = []
+        for node in self.walk():
+            if node.module is not None:
+                ordered.append(node.module)
+            ordered.extend(node.extra_modules)
         ordered.extend(memory.module for memory in self.memories)
         return ordered
 
