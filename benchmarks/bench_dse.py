@@ -1,6 +1,6 @@
 """E7 — design-space exploration: engine wall-clock, search quality, disk cache.
 
-Three phases over a ≥ 50-point gemm tiling/parallelism/metapipelining
+Four phases over a ≥ 50-point gemm tiling/parallelism/metapipelining
 space, all appended as one record to ``BENCH_dse.json``:
 
 1. **Engine wall-clock** — the sweep three ways: *cold* (naive serial loop,
@@ -26,22 +26,31 @@ space, all appended as one record to ``BENCH_dse.json``:
 The run finally refreshes the repo-level ``.dse-cache/`` store that CI
 persists between workflow runs (keyed on the cache version).
 
-Run with ``PYTHONPATH=src python benchmarks/bench_dse.py``.
+``--faults`` runs the chaos phase instead: fault-free supervision
+overhead (asserted < 5%), then a seeded crash/hang/error/corrupt
+:class:`~repro.dse.resilience.FaultPlan` plus a corrupted disk store
+through a pooled sweep, asserting bit-identical recovery.  ``--smoke``
+shrinks the workload for CI.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_dse.py [--faults [--smoke]]``.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import sys
 import tempfile
 import time
+import warnings
 from pathlib import Path
 
 import numpy as np
 
 from repro.dse.cache import ANALYSIS_CACHE, CACHE_VERSION
 from repro.dse.engine import explore
+from repro.dse.resilience import FaultPlan, ResiliencePolicy
 from repro.dse.search import area_key, hypervolume
 from repro.dse.space import default_space
 
@@ -300,6 +309,110 @@ def run_pipeline_phase() -> dict:
     }
 
 
+SUPERVISION_OVERHEAD_CEILING = 0.05  # fault-free supervision must stay < 5%
+SMOKE_SIZES = {"m": 256, "n": 256, "p": 256}
+
+
+def run_faults_phase(smoke: bool) -> dict:
+    """Chaos smoke: supervision overhead, seeded fault recovery, store repair.
+
+    Asserts three things: fault-free supervision costs < 5% wall-clock over
+    the unsupervised sweep; a seeded crash/hang/error/corrupt schedule plus
+    a corrupted disk store still completes *bit-identical* to the fault-free
+    run with nothing quarantined; and the corrupted store is quarantined
+    aside and rebuilt.
+    """
+    sizes = SMOKE_SIZES if smoke else SIZES
+    space = default_space(
+        {name: sizes[name] for name in ("m", "n", "p")},
+        pars=(4, 16),
+        max_tiles_per_dim=2,
+    )
+    print(f"[DSE faults] {BENCHMARK} {len(space)} points, sizes {sizes}")
+
+    # -- supervision overhead, fault-free ---------------------------------
+    ANALYSIS_CACHE.clear()
+    started = time.perf_counter()
+    plain = explore(BENCHMARK, sizes=sizes, space=space, prune=False)
+    t_plain = time.perf_counter() - started
+
+    ANALYSIS_CACHE.clear()
+    started = time.perf_counter()
+    supervised = explore(
+        BENCHMARK, sizes=sizes, space=space, prune=False,
+        resilience=ResiliencePolicy(retries=2),
+    )
+    t_supervised = time.perf_counter() - started
+
+    assert supervised.evaluated == plain.evaluated, (
+        "supervised sweep diverged from the unsupervised one"
+    )
+    overhead = max(0.0, t_supervised / t_plain - 1.0)
+    print(
+        f"[DSE faults] fault-free: plain {t_plain:.2f}s | supervised "
+        f"{t_supervised:.2f}s | overhead {overhead:.1%}"
+    )
+    assert overhead < SUPERVISION_OVERHEAD_CEILING, (
+        f"fault-free supervision overhead {overhead:.1%} exceeds "
+        f"{SUPERVISION_OVERHEAD_CEILING:.0%}"
+    )
+
+    # -- seeded chaos run against a corrupted store -----------------------
+    plan = FaultPlan.seeded(
+        {BENCHMARK: [r.point for r in plain.evaluated]},
+        seed=11, crashes=1, hangs=1, errors=1, corrupts=1, hang_seconds=60.0,
+    )
+    with tempfile.TemporaryDirectory(prefix="dse-faults-") as tmp:
+        store = Path(tmp) / "analysis.pkl"
+        store.write_bytes(b"one corrupted cache shard")
+        ANALYSIS_CACHE.clear()
+        started = time.perf_counter()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)  # the quarantine note
+            chaos = explore(
+                BENCHMARK, sizes=sizes, space=space, prune=False, workers=2,
+                disk_cache=store,
+                resilience=ResiliencePolicy(
+                    timeout=5.0, retries=2, backoff=0.01, fault_plan=plan
+                ),
+            )
+        t_chaos = time.perf_counter() - started
+        store_rebuilt = store.exists()
+        shard_quarantined = store.with_name("analysis.pkl.corrupt").exists()
+
+    assert chaos.evaluated == plain.evaluated, (
+        "chaos run is not bit-identical to the fault-free sweep"
+    )
+    assert not chaos.quarantined, (
+        f"transient faults should all recover; quarantined "
+        f"{[q.point.label for q in chaos.quarantined]}"
+    )
+    assert not chaos.interrupted
+    assert shard_quarantined and store_rebuilt, "corrupt store was not repaired"
+    stats = chaos.supervision
+    print(
+        f"[DSE faults] chaos ({len(plan)} faults) {t_chaos:.2f}s: "
+        f"bit-identical, supervision {stats}"
+    )
+    assert stats["recovered"] >= len(plan) - 1  # the hang may exhaust its worker slot
+    return {
+        "points": len(space),
+        "smoke": smoke,
+        "seconds_plain": round(t_plain, 4),
+        "seconds_supervised": round(t_supervised, 4),
+        "supervision_overhead": round(overhead, 4),
+        "overhead_ceiling": SUPERVISION_OVERHEAD_CEILING,
+        "chaos": {
+            "faults": len(plan),
+            "seconds": round(t_chaos, 4),
+            "bit_identical": True,
+            "quarantined": 0,
+            "store_repaired": True,
+            "supervision": stats,
+        },
+    }
+
+
 def refresh_ci_store(space) -> None:
     """Keep the repo-level store CI persists between runs up to date."""
     existed = CI_STORE.exists()
@@ -329,8 +442,24 @@ def run() -> dict:
     return record
 
 
-def main() -> int:
-    record = run()
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="run the chaos phase: supervision overhead + seeded fault recovery",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the workload sizes (CI smoke; only affects --faults)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.faults:
+        record = {"benchmark": BENCHMARK, "faults": run_faults_phase(args.smoke)}
+    else:
+        record = run()
     history = []
     if RESULT_PATH.exists():
         try:

@@ -9,6 +9,9 @@ The subsystem has three layers:
   area pre-filter used to prune infeasible points before simulation.
 * :mod:`repro.dse.search` — pluggable exploration strategies (exhaustive,
   hill climbing, genetic) plus the Pareto/hypervolume utilities.
+* :mod:`repro.dse.resilience` — the fault-tolerance layer: supervised
+  (timeout/retry/quarantine) evaluation, checkpoint journals and the
+  deterministic fault-injection harness.
 * :mod:`repro.dse.engine` — the exploration driver: prune → search →
   evaluate (serially or across a ``multiprocessing`` pool) → Pareto-rank,
   including the shared-pool :class:`MultiBenchmarkExplorer`.
@@ -24,14 +27,19 @@ __all__ = [
     "ANALYSIS_CACHE",
     "AnalysisCache",
     "CACHE_VERSION",
+    "CheckpointJournal",
     "DesignPoint",
     "DesignSpace",
     "ExplorationResult",
+    "FaultPlan",
+    "FaultSpec",
     "GeneticStrategy",
     "HillClimbStrategy",
     "MultiBenchmarkExplorer",
     "PointResult",
+    "ResiliencePolicy",
     "Strategy",
+    "SupervisionStats",
     "default_space",
     "estimate_point_area",
     "explore",
@@ -50,6 +58,13 @@ _SEARCH_EXPORTS = {
     "hypervolume",
     "run_search",
 }
+_RESILIENCE_EXPORTS = {
+    "CheckpointJournal",
+    "FaultPlan",
+    "FaultSpec",
+    "ResiliencePolicy",
+    "SupervisionStats",
+}
 
 
 def __getattr__(name: str):
@@ -65,4 +80,8 @@ def __getattr__(name: str):
         from repro.dse import search
 
         return getattr(search, name)
+    if name in _RESILIENCE_EXPORTS:
+        from repro.dse import resilience
+
+        return getattr(resilience, name)
     raise AttributeError(f"module 'repro.dse' has no attribute {name!r}")

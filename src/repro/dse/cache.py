@@ -54,13 +54,17 @@ Invalidation rules:
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import tempfile
+import warnings
 from collections import Counter, OrderedDict
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Dict, Hashable, Iterator, Mapping, Optional, Tuple, Union
+
+from repro.errors import CacheIntegrityError
 
 __all__ = [
     "AnalysisCache",
@@ -83,7 +87,17 @@ _MISSING = object()
 #: variant registry and the ``pipeline`` gene's value space — point-result
 #: keys embed its pass signature, so stores written before the rewriter
 #: existed are retired.
-CACHE_VERSION = 5
+#: v6: cached :class:`~repro.dse.results.PointResult` values gained
+#: supervision metadata fields, and stores gained a checksum header.
+CACHE_VERSION = 6
+
+#: Header of a checksummed store: magic, then a 16-byte blake2b digest of
+#: the pickled payload, then the payload.  Stores written before the header
+#: existed (naked pickles) still load; a store failing its checksum or its
+#: unpickling is *quarantined* — renamed aside and rebuilt on the next save
+#: — instead of crashing the sweep that touched it.
+_STORE_MAGIC = b"RCHS"
+_CHECKSUM_BYTES = 16
 
 #: Default per-table LRU bound of the process-global cache.  Generous enough
 #: that single sweeps never evict, small enough that week-long CI processes
@@ -219,6 +233,53 @@ class AnalysisCache:
             self.enabled = previous
 
     # -- disk persistence ----------------------------------------------------
+    def _read_store(self, path: Path) -> dict:
+        """Parse and validate a persisted store.
+
+        Checksummed stores (the current format) are verified byte-for-byte
+        before unpickling; stores from before the header existed fall back
+        to a plain unpickle.  Raises :class:`~repro.errors.CacheIntegrityError`
+        for anything that fails validation — truncated writes, bit rot,
+        or files that were never a store at all.
+        """
+        blob = path.read_bytes()
+        header = len(_STORE_MAGIC) + _CHECKSUM_BYTES
+        if blob[: len(_STORE_MAGIC)] == _STORE_MAGIC:
+            checksum = blob[len(_STORE_MAGIC) : header]
+            body = blob[header:]
+            if hashlib.blake2b(body, digest_size=_CHECKSUM_BYTES).digest() != checksum:
+                raise CacheIntegrityError(f"checksum mismatch in {path}")
+            try:
+                payload = pickle.loads(body)
+            except Exception as exc:
+                raise CacheIntegrityError(f"undecodable store {path}: {exc}") from exc
+        else:
+            try:
+                payload = pickle.loads(blob)
+            except Exception as exc:
+                raise CacheIntegrityError(f"unparsable store {path}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise CacheIntegrityError(
+                f"store {path} holds {type(payload).__name__}, expected dict"
+            )
+        return payload
+
+    def _quarantine_store(self, path: Path, why: str) -> None:
+        """Move a corrupt store aside so the next save rebuilds it clean."""
+        quarantined = path.with_name(path.name + ".corrupt")
+        note = ""
+        try:
+            os.replace(str(path), str(quarantined))
+            note = f"; moved aside to {quarantined.name}"
+        except OSError:
+            pass
+        warnings.warn(
+            f"analysis store failed validation ({why}); ignoring it{note} — "
+            "a fresh store will be rebuilt on the next save",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
     def save_disk(self, path: Union[str, Path], only_if_dirty: bool = False) -> bool:
         """Atomically persist every picklable table to ``path``.
 
@@ -231,6 +292,12 @@ class AnalysisCache:
         *of this same path* — the warm-rerun fast path.  Saving to a
         different path always writes: being clean with respect to one
         store says nothing about another.
+
+        Saving **merges**: entries already on disk that this process never
+        loaded are carried over (ordered as older than the live entries)
+        instead of being clobbered — so concurrent sweeps writing the same
+        store lose nothing to last-writer-wins races.  A corrupt existing
+        store is simply overwritten: that *is* the rebuild.
         """
         resolved = str(Path(path).resolve())
         if only_if_dirty and not self._dirty and resolved == self._clean_path:
@@ -238,6 +305,23 @@ class AnalysisCache:
         tables: Dict[str, list] = {
             name: list(table.items()) for name, table in self._tables.items() if table
         }
+        existing = Path(path)
+        if existing.exists():
+            try:
+                on_disk = self._read_store(existing)
+            except (CacheIntegrityError, OSError):
+                on_disk = None
+            if on_disk is not None and on_disk.get("version") == CACHE_VERSION:
+                for name, entries in on_disk.get("tables", {}).items():
+                    try:
+                        live_keys = {key for key, _ in tables.get(name, ())}
+                        carried = [
+                            (key, value) for key, value in entries if key not in live_keys
+                        ]
+                    except TypeError:
+                        continue  # malformed table shape: drop it
+                    if carried:
+                        tables[name] = carried + tables.get(name, [])
         payload = {"version": CACHE_VERSION, "tables": tables}
         try:
             blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
@@ -260,6 +344,11 @@ class AnalysisCache:
                 blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
             except Exception:
                 return False
+        blob = (
+            _STORE_MAGIC
+            + hashlib.blake2b(blob, digest_size=_CHECKSUM_BYTES).digest()
+            + blob
+        )
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), prefix=path.name, suffix=".tmp")
@@ -282,18 +371,23 @@ class AnalysisCache:
 
         Entries already present keep their (fresher) values; loaded entries
         are inserted oldest-first so LRU bounding favours what this process
-        uses.  A missing, corrupt, or version-mismatched store is ignored.
-        Returns the number of entries merged in.
+        uses.  A missing or version-mismatched store is silently ignored; a
+        store failing checksum validation (or unpickling) is *quarantined*
+        — renamed aside with a ``RuntimeWarning`` so the next save rebuilds
+        a clean one — instead of crashing the sweep.  Returns the number of
+        entries merged in.
         """
         path = Path(path)
         if not path.exists():
             return 0
         try:
-            with path.open("rb") as handle:
-                payload = pickle.load(handle)
-        except Exception:
+            payload = self._read_store(path)
+        except CacheIntegrityError as exc:
+            self._quarantine_store(path, str(exc))
             return 0
-        if not isinstance(payload, dict) or payload.get("version") != CACHE_VERSION:
+        except OSError:
+            return 0
+        if payload.get("version") != CACHE_VERSION:
             return 0
         had_entries = self.size() > 0
         loaded = 0

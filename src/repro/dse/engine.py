@@ -31,9 +31,12 @@ instead of paying one pool spin-up per sweep.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 import time
+import warnings
 from dataclasses import astuple, dataclass, field, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -41,6 +44,12 @@ from repro.apps import get_benchmark
 from repro.apps.base import Benchmark
 from repro.config import CompileConfig
 from repro.dse.cache import ANALYSIS_CACHE, env_signature
+from repro.dse.resilience import (
+    CheckpointJournal,
+    ResiliencePolicy,
+    SupervisedEvaluator,
+    corrupt_result,
+)
 from repro.dse.results import PointResult
 from repro.dse.space import (
     DesignPoint,
@@ -80,7 +89,20 @@ class EvaluatedConfig:
 
 @dataclass
 class ExplorationResult:
-    """The outcome of one exploration run."""
+    """The outcome of one exploration run.
+
+    ``quarantined`` lists points whose evaluation kept failing after every
+    retry the :class:`~repro.dse.resilience.ResiliencePolicy` allowed —
+    reported here (``failed=True``, with the failure reason) instead of
+    aborting the sweep.  ``interrupted`` marks a run cut short by
+    ``KeyboardInterrupt``: the lists hold whatever completed before the
+    interrupt, after the pool was torn down and the checkpoint journal and
+    dirty cache state were flushed.  ``resumed`` counts evaluations served
+    from a checkpoint journal instead of being recomputed, and
+    ``supervision`` carries the supervisor's counters (retries, timeouts,
+    pool respawns, …) for the run — in a multi-benchmark sweep, for the
+    whole shared-pool suite.
+    """
 
     benchmark: str
     sizes: Dict[str, int]
@@ -92,6 +114,10 @@ class ExplorationResult:
     cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
     strategy: str = "exhaustive"
     space_size: int = 0
+    quarantined: List[PointResult] = field(default_factory=list)
+    interrupted: bool = False
+    resumed: int = 0
+    supervision: Dict[str, int] = field(default_factory=dict)
 
     @property
     def pareto(self) -> List[PointResult]:
@@ -109,13 +135,22 @@ class ExplorationResult:
         header = (
             f"{'design point':<40} {'cycles':>14} {'logic':>8} {'mem KiB':>9} {'util':>6}"
         )
+        extras = ""
+        if self.quarantined:
+            extras += f", {len(self.quarantined)} quarantined"
+        if self.resumed:
+            extras += f", {self.resumed} resumed"
+        if self.interrupted:
+            extras += ", INTERRUPTED"
         lines = [
             f"DSE {self.benchmark} on {self.board_name} [{self.strategy}]: "
-            f"{len(self.evaluated)} evaluated, {len(self.pruned)} pruned, "
+            f"{len(self.evaluated)} evaluated, {len(self.pruned)} pruned{extras}, "
             f"{self.elapsed_seconds:.2f}s ({self.workers} worker(s))",
             header,
             "-" * len(header),
         ]
+        for result in self.quarantined:
+            lines.append(f"{result.label:<40} QUARANTINED: {result.failure}")
         for result in self.pareto:
             lines.append(
                 f"{result.label:<40} {result.cycles:>14.0f} {result.logic:>8.0f} "
@@ -244,6 +279,40 @@ def _point_result_key(
         astuple(board),
         astuple(model) if model is not None else (),
     )
+
+
+def _point_digest(
+    program: Program,
+    bindings: Mapping[str, object],
+    point: DesignPoint,
+    board: Board,
+    model: Optional[PerformanceModel],
+    session: CompilerSession,
+    cycle_model: str = "analytical",
+) -> Optional[bytes]:
+    """Stable digest of a point evaluation's cache key, or None.
+
+    The checkpoint journal keys its records on this: blake2b over the
+    pickled :func:`_point_result_key` tuple (protocol pinned so the bytes
+    are stable across interpreter runs — the key already is, since
+    structural hashes are blake2b themselves).  Points the cache would
+    refuse to key (subclassed boards/models, unregistered pipeline
+    variants) are not journalable either.
+    """
+    try:
+        signature = _pipeline_signature(session, point.pipeline)
+    except ValueError:
+        return None
+    key = _point_result_key(
+        program, bindings, point, board, model, signature, cycle_model
+    )
+    if key is None:
+        return None
+    try:
+        blob = pickle.dumps(key, protocol=4)
+    except Exception:
+        return None
+    return hashlib.blake2b(blob, digest_size=16).digest()
 
 
 def evaluate_point(
@@ -382,17 +451,22 @@ def _init_worker(
     model,
     memoize: bool = True,
     cycle_model: str = "analytical",
+    fault_plan=None,
 ) -> None:
     """Initialise one pool worker for a set of benchmarks.
 
     ``specs`` maps benchmark name → (sizes, input seed).  Programs and
     bindings are built lazily on first use, so a worker that only ever sees
-    tasks for one benchmark never pays for the others.
+    tasks for one benchmark never pays for the others.  ``fault_plan``
+    installs a deterministic fault-injection schedule
+    (:class:`repro.dse.resilience.FaultPlan`) consulted at every task entry
+    — the chaos-testing hook; None in production.
     """
     _WORKER_STATE["specs"] = dict(specs)
     _WORKER_STATE["board"] = board
     _WORKER_STATE["model"] = model
     _WORKER_STATE["cycle_model"] = cycle_model
+    _WORKER_STATE["fault_plan"] = fault_plan
     _WORKER_STATE["programs"] = {}
     # One session per worker: forked workers inherit the parent's warm
     # analysis cache copy-on-write, and the session gives every evaluation
@@ -404,8 +478,22 @@ def _init_worker(
         ANALYSIS_CACHE.enabled = False
 
 
-def _evaluate_point_task(task: Tuple[str, DesignPoint]) -> PointResult:
-    bench_name, point = task
+def _evaluate_point_task(task: Tuple) -> PointResult:
+    """Evaluate one ``(benchmark, point[, attempt])`` task in a pool worker.
+
+    The supervised evaluator ships 3-tuples carrying the attempt number, so
+    an installed fault plan fires identically no matter which worker runs
+    the task; the legacy fast path still sends 2-tuples (attempt 1).
+    """
+    if len(task) == 3:
+        bench_name, point, attempt = task
+    else:
+        bench_name, point = task
+        attempt = 1
+    plan = _WORKER_STATE.get("fault_plan")
+    marker = None
+    if plan is not None:
+        marker = plan.fire(bench_name, point.label, attempt, in_worker=True)
     programs: Dict[str, Tuple[Program, Dict[str, object]]] = _WORKER_STATE["programs"]
     if bench_name not in programs:
         sizes, seed = _WORKER_STATE["specs"][bench_name]
@@ -415,7 +503,7 @@ def _evaluate_point_task(task: Tuple[str, DesignPoint]) -> PointResult:
             bench.bindings(sizes, np.random.default_rng(seed)),
         )
     program, bindings = programs[bench_name]
-    return evaluate_point(
+    result = evaluate_point(
         program,
         bindings,
         point,
@@ -424,6 +512,9 @@ def _evaluate_point_task(task: Tuple[str, DesignPoint]) -> PointResult:
         session=_WORKER_STATE["session"],
         cycle_model=_WORKER_STATE.get("cycle_model", "analytical"),
     )
+    if marker == "corrupt":
+        result = corrupt_result(result)
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -479,6 +570,7 @@ def explore(
     disk_cache: Optional[object] = None,
     cycle_model: str = "analytical",
     pipelines: Optional[Sequence[str]] = None,
+    resilience: Optional[ResiliencePolicy] = None,
 ) -> ExplorationResult:
     """Explore a benchmark's design space and return Pareto-ranked results.
 
@@ -523,8 +615,16 @@ def explore(
             ``pipeline`` gene (e.g. ``("default", "rewrite")`` to search
             with and without the schedule rewriter).  Only consulted when
             ``space`` is None; an explicit space carries its own genes.
+        resilience: a :class:`repro.dse.resilience.ResiliencePolicy`
+            enabling supervised evaluation — per-point timeouts, bounded
+            retries with backoff, pool respawn, quarantine of
+            deterministically-failing points, checkpoint/resume journaling
+            and (in tests) fault injection.  ``None`` keeps the unsupervised
+            fast path; a ``KeyboardInterrupt`` still returns partial
+            results (``interrupted=True``) and a failed pool spawn still
+            degrades to serial evaluation in either mode.
     """
-    from repro.dse.search import get_strategy, run_search
+    from repro.dse.search import SearchDriver, get_strategy
 
     benchmark = get_benchmark(bench) if isinstance(bench, str) else bench
     sizes = dict(sizes or benchmark.default_sizes)
@@ -555,36 +655,127 @@ def explore(
     if memoize and disk_cache is not None:
         ANALYSIS_CACHE.load_disk(disk_cache)
 
-    def _search(evaluate) -> List[PointResult]:
-        outcome = run_search(
-            strat,
-            survivor_space,
-            evaluate,
-            seed=search_seed,
-            max_evaluations=max_evaluations,
-        )
-        return outcome.evaluated
+    specs = {benchmark.name: (sizes, seed)}
 
-    def _run_serial() -> List[PointResult]:
-        return _search(
-            lambda points: [
-                evaluate_point(
+    # -- checkpoint journal (resume without re-evaluating) ----------------
+    journal: Optional[CheckpointJournal] = None
+    journal_entries: Dict[bytes, PointResult] = {}
+    if resilience is not None and resilience.checkpoint is not None:
+        journal = CheckpointJournal(resilience.checkpoint)
+        journal_entries = journal.load()
+    state = {"resumed": 0}
+
+    def digest_of(point: DesignPoint) -> Optional[bytes]:
+        return _point_digest(
+            program, bindings, point, board, model, session, cycle_model
+        )
+
+    def journal_record(point: DesignPoint, result: PointResult) -> None:
+        if journal is None:
+            return
+        digest = digest_of(point)
+        if digest is None or digest in journal_entries:
+            return
+        journal.append(digest, result)
+        journal_entries[digest] = result
+
+    quarantine_order: Dict[DesignPoint, PointResult] = {}
+    driver = SearchDriver(
+        strat,
+        survivor_space,
+        seed=search_seed,
+        max_evaluations=max_evaluations,
+        on_record=journal_record,
+    )
+
+    def drive(evaluate_batch: Callable[[List[DesignPoint]], List[PointResult]]) -> None:
+        driver.start()
+        while not driver.done:
+            fresh = driver.fresh_points()
+            if fresh:
+                results = evaluate_batch(fresh)
+                for point, result in zip(fresh, results):
+                    if getattr(result, "failed", False):
+                        quarantine_order.setdefault(point, result)
+                driver.record(fresh, results)
+            driver.advance()
+
+    def with_replay(
+        evaluate_batch: Callable[[List[DesignPoint]], List[PointResult]]
+    ) -> Callable[[List[DesignPoint]], List[PointResult]]:
+        """Serve journaled results before paying for an evaluation."""
+        if not journal_entries:
+            return evaluate_batch
+
+        def wrapped(points: List[DesignPoint]) -> List[PointResult]:
+            out: List[Optional[PointResult]] = [None] * len(points)
+            todo: List[int] = []
+            replayed: List[Tuple[DesignPoint, PointResult]] = []
+            for i, point in enumerate(points):
+                digest = digest_of(point)
+                hit = journal_entries.get(digest) if digest is not None else None
+                if hit is not None:
+                    out[i] = hit
+                    state["resumed"] += 1
+                    replayed.append((point, hit))
+                else:
+                    todo.append(i)
+            if replayed and memoize:
+                _seed_point_results(
                     program,
                     bindings,
-                    point,
-                    board=board,
-                    model=model,
+                    board,
+                    model,
+                    [p for p, _ in replayed],
+                    [r for _, r in replayed],
                     session=session,
                     cycle_model=cycle_model,
                 )
-                for point in points
-            ]
-        )
+            if todo:
+                computed = evaluate_batch([points[i] for i in todo])
+                for i, result in zip(todo, computed):
+                    out[i] = result
+            return out
 
-    def _run_pool() -> List[PointResult]:
-        specs = {benchmark.name: (sizes, seed)}
+        return wrapped
 
-        def evaluate(points: Sequence[DesignPoint]) -> List[PointResult]:
+    def eval_serial(points: List[DesignPoint]) -> List[PointResult]:
+        return [
+            evaluate_point(
+                program,
+                bindings,
+                point,
+                board=board,
+                model=model,
+                session=session,
+                cycle_model=cycle_model,
+            )
+            for point in points
+        ]
+
+    def run_legacy() -> None:
+        if workers <= 1:
+            drive(with_replay(eval_serial))
+            return
+        try:
+            pool = pool_context().Pool(
+                processes=workers,
+                initializer=_init_worker,
+                initargs=(specs, board, model, memoize, cycle_model),
+            )
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            warnings.warn(
+                f"worker pool spawn failed ({type(exc).__name__}: {exc}); "
+                "falling back to in-process serial evaluation",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            drive(with_replay(eval_serial))
+            return
+
+        def eval_pool(points: List[DesignPoint]) -> List[PointResult]:
             results = pool.map(
                 _evaluate_point_task, [(benchmark.name, p) for p in points]
             )
@@ -601,19 +792,92 @@ def explore(
                 )
             return results
 
-        with pool_context().Pool(
-            processes=workers,
-            initializer=_init_worker,
-            initargs=(specs, board, model, memoize, cycle_model),
-        ) as pool:
-            return _search(evaluate)
+        with pool:
+            drive(with_replay(eval_pool))
 
-    if not memoize:
-        ANALYSIS_CACHE.clear()
-        with ANALYSIS_CACHE.disabled():
-            evaluated = _run_pool() if workers > 1 else _run_serial()
-    else:
-        evaluated = _run_pool() if workers > 1 else _run_serial()
+    supervision: Dict[str, int] = {}
+
+    def run_supervised(policy: ResiliencePolicy) -> None:
+        pool_factory = None
+        if workers > 1:
+            def pool_factory():
+                return pool_context().Pool(
+                    processes=workers,
+                    initializer=_init_worker,
+                    initargs=(
+                        specs, board, model, memoize, cycle_model, policy.fault_plan
+                    ),
+                )
+
+        # Retries and the serial fallback compile through a clone, so a
+        # failure mid-compile cannot leave half-recorded state in the
+        # session the rest of the exploration uses.
+        fallback_session = session.clone()
+
+        def serial_compute(task: Tuple[str, DesignPoint]) -> PointResult:
+            return evaluate_point(
+                program,
+                bindings,
+                task[1],
+                board=board,
+                model=model,
+                session=fallback_session,
+                cycle_model=cycle_model,
+            )
+
+        evaluator = SupervisedEvaluator(
+            policy,
+            serial_compute,
+            workers=workers,
+            pool_factory=pool_factory,
+            pooled_task=_evaluate_point_task,
+        )
+        try:
+            def eval_supervised(points: List[DesignPoint]) -> List[PointResult]:
+                results = evaluator.evaluate([(benchmark.name, p) for p in points])
+                if memoize and workers > 1:
+                    ok = [
+                        (p, r)
+                        for p, r in zip(points, results)
+                        if not getattr(r, "failed", False)
+                    ]
+                    if ok:
+                        _seed_point_results(
+                            program,
+                            bindings,
+                            board,
+                            model,
+                            [p for p, _ in ok],
+                            [r for _, r in ok],
+                            session=session,
+                            cycle_model=cycle_model,
+                        )
+                return results
+
+            drive(with_replay(eval_supervised))
+        finally:
+            evaluator.close()
+            supervision.update(evaluator.stats.as_dict())
+
+    def run_exploration() -> None:
+        if resilience is not None:
+            run_supervised(resilience)
+        else:
+            run_legacy()
+
+    interrupted = False
+    try:
+        if not memoize:
+            ANALYSIS_CACHE.clear()
+            with ANALYSIS_CACHE.disabled():
+                run_exploration()
+        else:
+            run_exploration()
+    except KeyboardInterrupt:
+        # Return what completed: the pool is already torn down (context
+        # manager / evaluator.close), the journal holds every recorded
+        # result, and the dirty cache state is flushed right below.
+        interrupted = True
 
     if memoize and disk_cache is not None:
         ANALYSIS_CACHE.save_disk(disk_cache, only_if_dirty=True)
@@ -627,13 +891,17 @@ def explore(
         benchmark=benchmark.name,
         sizes=sizes,
         board_name=board.name,
-        evaluated=evaluated,
+        evaluated=list(driver.seen.values()),
         pruned=pruned_results,
         elapsed_seconds=elapsed,
         workers=workers,
         cache_stats=stats,
         strategy=strat.name,
         space_size=len(space),
+        quarantined=list(quarantine_order.values()),
+        interrupted=interrupted,
+        resumed=state["resumed"],
+        supervision=supervision,
     )
 
 
@@ -654,6 +922,8 @@ class _Lane:
     pruned: List[PointResult]
     space_size: int
     elapsed_seconds: float = 0.0
+    quarantined: Dict[DesignPoint, PointResult] = field(default_factory=dict)
+    resumed: int = 0
 
 
 class MultiBenchmarkExplorer:
@@ -687,6 +957,7 @@ class MultiBenchmarkExplorer:
         disk_cache: Optional[object] = None,
         cycle_model: str = "analytical",
         pipelines: Optional[Sequence[str]] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         self.benchmarks = [
             get_benchmark(bench) if isinstance(bench, str) else bench for bench in benchmarks
@@ -705,6 +976,7 @@ class MultiBenchmarkExplorer:
         self.disk_cache = disk_cache
         self.cycle_model = cycle_model
         self.pipelines = tuple(pipelines) if pipelines else ("default",)
+        self.resilience = resilience
 
     def _build_lanes(self) -> List[_Lane]:
         from repro.analysis.estimate import input_shapes
@@ -754,46 +1026,188 @@ class MultiBenchmarkExplorer:
         if self.disk_cache is not None:
             ANALYSIS_CACHE.load_disk(self.disk_cache)
         lanes = self._build_lanes()
+        by_name = {lane.benchmark.name: lane for lane in lanes}
+        # Mirrors the workers' default-pipeline sessions so seeded cache and
+        # journal keys match what a serial rerun would look up.
+        seed_session = CompilerSession(board=self.board, model=self.model)
+
+        policy = self.resilience
+        journal: Optional[CheckpointJournal] = None
+        journal_entries: Dict[bytes, PointResult] = {}
+        if policy is not None and policy.checkpoint is not None:
+            journal = CheckpointJournal(policy.checkpoint)
+            journal_entries = journal.load()
+
+        def digest_of(bench_name: str, point: DesignPoint) -> Optional[bytes]:
+            lane = by_name[bench_name]
+            return _point_digest(
+                lane.program,
+                lane.bindings,
+                point,
+                self.board,
+                self.model,
+                seed_session,
+                self.cycle_model,
+            )
+
+        def make_recorder(lane: _Lane):
+            def on_record(point: DesignPoint, result: PointResult) -> None:
+                if journal is None:
+                    return
+                digest = digest_of(lane.benchmark.name, point)
+                if digest is None or digest in journal_entries:
+                    return
+                journal.append(digest, result)
+                journal_entries[digest] = result
+
+            return on_record
+
         for lane in lanes:
+            lane.driver.on_record = make_recorder(lane)
             lane.driver.start()
+
+        def with_replay(evaluate_tasks):
+            """Serve journaled results before paying for an evaluation."""
+            if not journal_entries:
+                return evaluate_tasks
+
+            def wrapped(tasks):
+                out = [None] * len(tasks)
+                todo = []
+                for i, (bench_name, point) in enumerate(tasks):
+                    digest = digest_of(bench_name, point)
+                    hit = journal_entries.get(digest) if digest is not None else None
+                    if hit is not None:
+                        out[i] = hit
+                        lane = by_name[bench_name]
+                        lane.resumed += 1
+                        _seed_point_results(
+                            lane.program,
+                            lane.bindings,
+                            self.board,
+                            self.model,
+                            [point],
+                            [hit],
+                            session=seed_session,
+                            cycle_model=self.cycle_model,
+                        )
+                    else:
+                        todo.append(i)
+                if todo:
+                    computed = evaluate_tasks([tasks[i] for i in todo])
+                    for i, result in zip(todo, computed):
+                        out[i] = result
+                return out
+
+            return wrapped
 
         total_points = sum(
             len(lane.driver.requested) for lane in lanes
         )  # first-round estimate only, used to cap workers
         workers = self.workers if self.workers is not None else 1
         workers = min(workers, max(1, total_points))
+        specs = {lane.benchmark.name: (lane.sizes, self.seed) for lane in lanes}
 
-        if workers > 1:
-            specs = {lane.benchmark.name: (lane.sizes, self.seed) for lane in lanes}
-            by_name = {lane.benchmark.name: lane for lane in lanes}
-            # Mirrors the workers' default-pipeline sessions so seeded keys
-            # match what a serial rerun would look up.
-            seed_session = CompilerSession(board=self.board, model=self.model)
+        def seed_results(tasks, results) -> None:
+            for (bench_name, point), result in zip(tasks, results):
+                if getattr(result, "failed", False):
+                    continue
+                lane = by_name[bench_name]
+                _seed_point_results(
+                    lane.program,
+                    lane.bindings,
+                    self.board,
+                    self.model,
+                    [point],
+                    [result],
+                    session=seed_session,
+                    cycle_model=self.cycle_model,
+                )
+
+        supervision: Dict[str, int] = {}
+        interrupted = False
+
+        def run_legacy_pool() -> None:
+            nonlocal interrupted
+            try:
+                pool = pool_context().Pool(
+                    processes=workers,
+                    initializer=_init_worker,
+                    initargs=(specs, self.board, self.model, True, self.cycle_model),
+                )
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                warnings.warn(
+                    f"worker pool spawn failed ({type(exc).__name__}: {exc}); "
+                    "falling back to in-process serial evaluation",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self._drive(lanes, with_replay(self._serial_evaluate(lanes)), started)
+                return
 
             def pooled_evaluate(tasks):
                 results = pool.map(_evaluate_point_task, tasks)
-                for (bench_name, point), result in zip(tasks, results):
-                    lane = by_name[bench_name]
-                    _seed_point_results(
-                        lane.program,
-                        lane.bindings,
-                        self.board,
-                        self.model,
-                        [point],
-                        [result],
-                        session=seed_session,
-                        cycle_model=self.cycle_model,
-                    )
+                seed_results(tasks, results)
                 return results
 
-            with pool_context().Pool(
-                processes=workers,
-                initializer=_init_worker,
-                initargs=(specs, self.board, self.model, True, self.cycle_model),
-            ) as pool:
-                self._drive(lanes, pooled_evaluate, started)
-        else:
-            self._drive(lanes, self._serial_evaluate(lanes), started)
+            with pool:
+                self._drive(lanes, with_replay(pooled_evaluate), started)
+
+        def run_supervised() -> None:
+            pool_factory = None
+            if workers > 1:
+                def pool_factory():
+                    return pool_context().Pool(
+                        processes=workers,
+                        initializer=_init_worker,
+                        initargs=(
+                            specs,
+                            self.board,
+                            self.model,
+                            True,
+                            self.cycle_model,
+                            policy.fault_plan,
+                        ),
+                    )
+
+            serial_lane_evaluate = self._serial_evaluate(lanes)
+
+            def serial_compute(task):
+                return serial_lane_evaluate([task])[0]
+
+            evaluator = SupervisedEvaluator(
+                policy,
+                serial_compute,
+                workers=workers,
+                pool_factory=pool_factory,
+                pooled_task=_evaluate_point_task,
+            )
+            try:
+                def supervised_evaluate(tasks):
+                    results = evaluator.evaluate(tasks)
+                    if workers > 1:
+                        seed_results(tasks, results)
+                    return results
+
+                self._drive(lanes, with_replay(supervised_evaluate), started)
+            finally:
+                evaluator.close()
+                supervision.update(evaluator.stats.as_dict())
+
+        try:
+            if policy is not None:
+                run_supervised()
+            elif workers > 1:
+                run_legacy_pool()
+            else:
+                self._drive(lanes, with_replay(self._serial_evaluate(lanes)), started)
+        except KeyboardInterrupt:
+            # Partial results: pools are torn down by their context manager
+            # or evaluator.close(), the journal already holds everything
+            # recorded, and the dirty cache flushes right below.
+            interrupted = True
 
         if self.disk_cache is not None:
             ANALYSIS_CACHE.save_disk(self.disk_cache, only_if_dirty=True)
@@ -812,6 +1226,12 @@ class MultiBenchmarkExplorer:
                 workers=workers,
                 strategy=lane.driver.strategy.name,
                 space_size=lane.space_size,
+                quarantined=list(lane.quarantined.values()),
+                interrupted=interrupted,
+                resumed=lane.resumed,
+                # Supervision counters are per-suite: the pool (and its
+                # supervisor) is shared across lanes.
+                supervision=dict(supervision),
             )
         return results
 
@@ -871,6 +1291,9 @@ class MultiBenchmarkExplorer:
                     outcomes.append(result)
                 for lane in active:
                     points, outcomes = by_lane.get(id(lane), ([], []))
+                    for point, result in zip(points, outcomes):
+                        if getattr(result, "failed", False):
+                            lane.quarantined.setdefault(point, result)
                     lane.driver.record(points, outcomes)
 
             for lane in active:

@@ -37,6 +37,12 @@ class PointResult:
     write_bytes: int = 0
     pruned: bool = False
     prune_reason: str = ""
+    # Supervision metadata (repro.dse.resilience).  compare=False keeps a
+    # recovered-after-retry result equal to its fault-free twin: the
+    # metrics are what identify a result, not how hard it was to get.
+    failed: bool = field(default=False, compare=False)
+    failure: str = field(default="", compare=False)
+    attempts: int = field(default=1, compare=False)
 
     @property
     def label(self) -> str:

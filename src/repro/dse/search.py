@@ -622,6 +622,15 @@ class SearchDriver:
     ``record(points, results)`` → ``advance()`` until ``done``.
     Deterministic for a fixed ``seed`` (all randomness flows through one
     ``numpy`` generator).
+
+    ``on_record`` (when set) observes every successful evaluation as it is
+    recorded — the hook the engine's checkpoint journal hangs off, so an
+    interrupted search can resume from exactly the results its strategy
+    had already consumed.  Results marked ``failed`` (quarantined by the
+    supervision layer) are *not* recorded: a failed point carries no
+    metrics, and feeding it to a strategy would poison the Pareto front.
+    The point stays unseen, so re-proposals are served from the
+    supervisor's quarantine memo instead of being re-evaluated.
     """
 
     def __init__(
@@ -630,6 +639,7 @@ class SearchDriver:
         space: DesignSpace,
         seed: int = 0,
         max_evaluations: Optional[int] = None,
+        on_record: Optional[Callable[[DesignPoint, object], None]] = None,
     ) -> None:
         self.strategy = get_strategy(strategy)
         self.max_evaluations = max_evaluations
@@ -637,6 +647,7 @@ class SearchDriver:
         self.requested: List[DesignPoint] = []
         self.batches = 0
         self.done = False
+        self.on_record = on_record
         self._generator = self.strategy.search(space, np.random.default_rng(seed))
 
     def start(self) -> None:
@@ -659,7 +670,11 @@ class SearchDriver:
 
     def record(self, points: Sequence[DesignPoint], results: Sequence) -> None:
         for point, result in zip(points, results):
+            if getattr(result, "failed", False):
+                continue
             self.seen[point] = result
+            if self.on_record is not None:
+                self.on_record(point, result)
         if points:
             self.batches += 1
 

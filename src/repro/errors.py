@@ -49,3 +49,27 @@ class PipelineError(ReproError):
 
 class ScheduleRewriteError(ReproError):
     """Raised when a schedule rewrite breaks a preservation invariant."""
+
+
+class ResilienceError(ReproError):
+    """Base class of failures the DSE supervision layer detects and handles."""
+
+
+class TransientEvaluationError(ResilienceError):
+    """Raised when a point evaluation fails in a way a retry may fix."""
+
+
+class EvaluationTimeoutError(ResilienceError):
+    """Raised when a point evaluation exceeds its wall-clock budget."""
+
+
+class WorkerCrashError(ResilienceError):
+    """Raised when a pool worker dies mid-task (its result is lost)."""
+
+
+class CorruptResultError(ResilienceError):
+    """Raised when a worker hands back a structurally invalid result."""
+
+
+class CacheIntegrityError(ResilienceError):
+    """Raised when a persisted analysis-cache store fails checksum validation."""

@@ -314,6 +314,7 @@ def run_figure7(
     dse_shared_pool: bool = True,
     dse_disk_cache: Optional[object] = None,
     dse_pipelines: Optional[Sequence[str]] = None,
+    resilience: Optional[object] = None,
     report_passes: bool = False,
     cycle_model: str = "analytical",
     compare_cycle_models: bool = False,
@@ -353,6 +354,12 @@ def run_figure7(
     pass-pipeline variants the search sweeps as the ``pipeline`` gene —
     e.g. ``("default", "rewrite")`` lets the search decide per benchmark
     whether the schedule rewriter pays off.
+
+    ``resilience`` (a :class:`repro.dse.resilience.ResiliencePolicy`)
+    supervises the DSE sweeps: per-point timeouts, retries, quarantine of
+    failing points and checkpoint/resume journaling — so a long Figure 7
+    run survives hung or crashed evaluations and completes with the
+    failures reported instead of aborting.
     """
     names = list(benchmarks) if benchmarks else [bench.name for bench in all_benchmarks()]
     tasks = [
@@ -424,6 +431,7 @@ def run_figure7(
                 disk_cache=dse_disk_cache,
                 cycle_model=cycle_model,
                 pipelines=dse_pipelines,
+                resilience=resilience,
             ).run()
         else:
             explorations = {
@@ -438,6 +446,7 @@ def run_figure7(
                     disk_cache=dse_disk_cache,
                     cycle_model=cycle_model,
                     pipelines=dse_pipelines,
+                    resilience=resilience,
                 )
                 for name in names
             }

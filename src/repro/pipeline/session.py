@@ -121,6 +121,24 @@ class CompilerSession:
         self.compilations = 0
         self.pass_totals: Dict[str, Dict[str, float]] = {}
 
+    def clone(self) -> "CompilerSession":
+        """A fresh session with this one's configuration and no history.
+
+        The DSE supervision layer uses this when it degrades a pooled
+        exploration to in-process evaluation: the fallback compiles through
+        an equivalent — but untouched — session, so whatever state the
+        failure left behind (half-recorded reports, instrument totals)
+        cannot leak into the recovered run's accounting.
+        """
+        return CompilerSession(
+            board=self.board,
+            pipeline=self.pipeline,
+            model=self.model,
+            cache=self.cache,
+            fresh_names=self.fresh_names,
+            keep_reports=self.reports.maxlen or 64,
+        )
+
     # -- pipeline resolution -------------------------------------------------
     def pipeline_for(self, spec: Union[str, Pipeline, None] = None) -> Pipeline:
         """Resolve a per-compile pipeline override.

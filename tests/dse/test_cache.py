@@ -163,7 +163,8 @@ class TestDiskPersistence:
     def test_corrupt_store_is_ignored(self, tmp_path):
         store = tmp_path / "analysis.pkl"
         store.write_bytes(b"not a pickle")
-        assert AnalysisCache().load_disk(store) == 0
+        with pytest.warns(RuntimeWarning, match="failed validation"):
+            assert AnalysisCache().load_disk(store) == 0
 
     def test_missing_store_is_ignored(self, tmp_path):
         assert AnalysisCache().load_disk(tmp_path / "absent.pkl") == 0
@@ -252,6 +253,77 @@ class TestDiskPersistence:
         assert stats["hits"] == len(space) and stats["misses"] == 0
         for a, b in zip(cold.evaluated, warm.evaluated):
             assert a.point == b.point and a.cycles == b.cycles and a.logic == b.logic
+
+
+class TestStoreHardening:
+    """Checksum validation, quarantine-and-rebuild, and merge-on-save."""
+
+    def test_corrupt_store_is_quarantined_and_rebuilt(self, tmp_path):
+        store = tmp_path / "analysis.pkl"
+        store.write_bytes(b"not a pickle")
+        cache = AnalysisCache()
+        with pytest.warns(RuntimeWarning, match="failed validation"):
+            assert cache.load_disk(store) == 0
+        # Quarantined aside, not left in place to fail every future load.
+        assert not store.exists()
+        assert (tmp_path / "analysis.pkl.corrupt").exists()
+        # The next save rebuilds a clean store.
+        cache.put("t", "k", "v")
+        assert cache.save_disk(store)
+        fresh = AnalysisCache()
+        assert fresh.load_disk(store) == 1
+        assert fresh.get("t", "k") == "v"
+
+    def test_bit_flip_is_caught_by_checksum(self, tmp_path):
+        store = tmp_path / "analysis.pkl"
+        cache = AnalysisCache()
+        cache.put("t", "k", "v")
+        assert cache.save_disk(store)
+        blob = bytearray(store.read_bytes())
+        blob[-1] ^= 0xFF
+        store.write_bytes(bytes(blob))
+        with pytest.warns(RuntimeWarning, match="failed validation"):
+            assert AnalysisCache().load_disk(store) == 0
+
+    def test_legacy_naked_pickle_store_still_loads(self, tmp_path):
+        import pickle
+
+        from repro.dse.cache import CACHE_VERSION
+
+        store = tmp_path / "analysis.pkl"
+        store.write_bytes(
+            pickle.dumps({"version": CACHE_VERSION, "tables": {"t": [("k", "v")]}})
+        )
+        cache = AnalysisCache()
+        assert cache.load_disk(store) == 1
+        assert cache.get("t", "k") == "v"
+
+    def test_merge_on_save_keeps_concurrent_writers_entries(self, tmp_path):
+        """Two processes saving to one store must not lose each other's
+        entries to a last-writer-wins race."""
+        store = tmp_path / "analysis.pkl"
+        first = AnalysisCache()
+        first.put("t", "a", 1)
+        assert first.save_disk(store)
+        second = AnalysisCache()  # never loaded the store
+        second.put("t", "b", 2)
+        assert second.save_disk(store)
+        merged = AnalysisCache()
+        assert merged.load_disk(store) == 2
+        assert merged.get("t", "a") == 1
+        assert merged.get("t", "b") == 2
+
+    def test_merge_on_save_prefers_live_entries(self, tmp_path):
+        store = tmp_path / "analysis.pkl"
+        stale = AnalysisCache()
+        stale.put("t", "k", "old")
+        stale.save_disk(store)
+        fresh = AnalysisCache()
+        fresh.put("t", "k", "new")
+        fresh.save_disk(store)
+        loaded = AnalysisCache()
+        assert loaded.load_disk(store) == 1
+        assert loaded.get("t", "k") == "new"
 
 
 class TestMemoizedAnalysesMatchUncached:
