@@ -10,6 +10,9 @@ coalescing, stage rebalancing, degenerate-group flattening after
   profile-guided: the event model's latency/contention accounting is the
   profile it optimises against), plus the analytical counts for reference;
 * the per-rewrite hit counts reported by the ``rewrite-schedule`` pass;
+* a ``rewrite-profiled`` row: the same configuration through the
+  profile-guided variant (stage costs from measured event-backend stage
+  profiles, balance factor tuned per schedule), with its tuned factor;
 * the legality evidence: identical DRAM traffic totals (read and write),
   an identical memory inventory and identical area totals.
 
@@ -91,6 +94,7 @@ def run(benchmarks) -> dict:
     record: dict = {"benchmarks": {}}
     improved = []
     rewrite_seconds = 0.0
+    profiled_seconds = 0.0
 
     header = (
         f"{'benchmark':<10} {'event before':>14} {'event after':>14} {'delta':>8} "
@@ -125,6 +129,22 @@ def run(benchmarks) -> dict:
         if event_after < event_before:
             improved.append(bench.name)
 
+        # The profile-guided variant: stage costs from measured event-backend
+        # stage profiles, balance factor tuned per schedule.  Same legality
+        # bar, same no-regression bar as the closed-form rewriter.
+        started = time.perf_counter()
+        profiled = session.compile(
+            bench.build(), config, bindings, par=par, pipeline="rewrite-profiled"
+        )
+        profiled_seconds += time.perf_counter() - started
+        _assert_preserved(bench.name, plain, profiled)
+        event_profiled = EventScheduleBackend().run(profiled.schedule).cycles
+        assert event_profiled <= event_before * (1 + 1e-9), (
+            f"{bench.name}: profiled rewriter regressed event cycles "
+            f"({event_before:,.0f} -> {event_profiled:,.0f})"
+        )
+        profiled_details = profiled.report.record("rewrite-schedule").details
+
         details = rewritten.report.record("rewrite-schedule").details
         hits = {k: v for k, v in details["rewrite_hits"].items() if v}
         delta = event_after / event_before - 1.0
@@ -132,6 +152,8 @@ def run(benchmarks) -> dict:
             f"{bench.name:<10} {event_before:>14,.0f} {event_after:>14,.0f} "
             f"{delta:>+7.2%} {sum(hits.values()):>5} "
             + ", ".join(f"{k}×{v}" for k, v in hits.items())
+            + f"  [profiled {event_profiled:,.0f} "
+            f"bf={profiled_details['balance_factor']}]"
         )
         record["benchmarks"][bench.name] = {
             "event_cycles_before": event_before,
@@ -141,6 +163,9 @@ def run(benchmarks) -> dict:
             "analytical_cycles_after": analytical_after,
             "rewrite_hits": dict(details["rewrite_hits"]),
             "rewrite_rounds": details["rewrite_rounds"],
+            "event_cycles_profiled": event_profiled,
+            "profiled_balance_factor": profiled_details["balance_factor"],
+            "profiled_rewrite_hits": dict(profiled_details["rewrite_hits"]),
             "transfers_before": len(plain.schedule.transfers),
             "transfers_after": len(rewritten.schedule.transfers),
             "traffic_read_bytes": schedule_traffic(plain.schedule).read_bytes,
@@ -156,6 +181,7 @@ def run(benchmarks) -> dict:
     )
     record["improved"] = improved
     record["rewrite_compile_seconds"] = round(rewrite_seconds, 6)
+    record["profiled_compile_seconds"] = round(profiled_seconds, 6)
     return record
 
 

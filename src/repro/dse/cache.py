@@ -89,7 +89,12 @@ _MISSING = object()
 #: existed are retired.
 #: v6: cached :class:`~repro.dse.results.PointResult` values gained
 #: supervision metadata fields, and stores gained a checksum header.
-CACHE_VERSION = 6
+#: v7: :class:`~repro.dse.space.DesignPoint` gained the ``dram_channels``
+#: gene (folded into the model half of the point-result key) and
+#: :class:`~repro.sim.model.PerformanceModel` gained the
+#: ``dram_channels``/``dram_interleaving`` fields, changing ``astuple``
+#: layouts embedded in every point-result key.
+CACHE_VERSION = 7
 
 #: Header of a checksummed store: magic, then a 16-byte blake2b digest of
 #: the pickled payload, then the payload.  Stores written before the header

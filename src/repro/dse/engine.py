@@ -240,6 +240,27 @@ def _pipeline_signature(session: CompilerSession, gene: str) -> Tuple:
     return variant_signature(gene)
 
 
+def _effective_model(
+    model: Optional[PerformanceModel], point: DesignPoint
+) -> Optional[PerformanceModel]:
+    """Fold the point's DRAM-channel gene into the performance model.
+
+    The channel count is a *design* choice, not a session-wide knob, so the
+    engine folds it into the model per point right before timing (and
+    before keying the memo table — ``astuple`` then separates channel
+    counts naturally).  At the default ``dram_channels=1`` the model passes
+    through untouched, keeping single-channel sweeps bit-compatible with
+    pre-gene cache entries and journal digests.
+    """
+    channels = getattr(point, "dram_channels", 1)
+    if channels == 1:
+        return model
+    base = model if model is not None else PerformanceModel()
+    if base.dram_channels == channels:
+        return model
+    return replace(base, dram_channels=channels)
+
+
 def _point_result_key(
     program: Program,
     bindings: Mapping[str, object],
@@ -304,7 +325,13 @@ def _point_digest(
     except ValueError:
         return None
     key = _point_result_key(
-        program, bindings, point, board, model, signature, cycle_model
+        program,
+        bindings,
+        point,
+        board,
+        _effective_model(model, point),
+        signature,
+        cycle_model,
     )
     if key is None:
         return None
@@ -338,6 +365,11 @@ def evaluate_point(
     else:
         board = session.board
         model = model if model is not None else session.model
+    # The point's DRAM-channel gene rides on the model: fold it in before
+    # the key is formed and before the simulate, so channel counts memoise
+    # separately and the event backend times the provisioning the point
+    # actually asks for.
+    model = _effective_model(model, point)
     # The signature of the pipeline the compile will actually run (raises
     # for an unregistered variant name) keys the memoised result.  The
     # session resolves string genes through the registry, so the memoised
@@ -419,7 +451,13 @@ def _seed_point_results(
         except ValueError:
             continue  # unregistered variant: never memoise
         key = _point_result_key(
-            program, bindings, point, board, model, signature, cycle_model
+            program,
+            bindings,
+            point,
+            board,
+            _effective_model(model, point),
+            signature,
+            cycle_model,
         )
         if key is not None:
             ANALYSIS_CACHE.put("point_results", key, result)

@@ -97,11 +97,12 @@ class SpaceAxes:
 
     ``tile_values`` maps each tiled size symbol to its sorted candidate
     tiles; ``pars`` and ``metas`` are the sorted parallelisation factors and
-    metapipelining flags that occur in the space, and ``pipelines`` the
-    pass-pipeline variants.  ``members`` is the set of points actually in
-    the space: every move a strategy proposes is snapped to it, so search
-    never evaluates a point grid enumeration would not have produced
-    (which is what makes "search front ⊆ grid front" testable).
+    metapipelining flags that occur in the space, ``pipelines`` the
+    pass-pipeline variants and ``channels`` the DRAM-channel counts.
+    ``members`` is the set of points actually in the space: every move a
+    strategy proposes is snapped to it, so search never evaluates a point
+    grid enumeration would not have produced (which is what makes "search
+    front ⊆ grid front" testable).
     """
 
     tile_values: Tuple[Tuple[str, Tuple[int, ...]], ...]
@@ -109,6 +110,7 @@ class SpaceAxes:
     metas: Tuple[bool, ...]
     members: frozenset
     pipelines: Tuple[str, ...] = ("default",)
+    channels: Tuple[int, ...] = (1,)
 
     @staticmethod
     def from_space(space: DesignSpace) -> "SpaceAxes":
@@ -116,10 +118,12 @@ class SpaceAxes:
         pars: set = set()
         metas: set = set()
         pipelines: set = set()
+        channels: set = set()
         for point in space:
             pars.add(point.par)
             metas.add(point.metapipelining)
             pipelines.add(point.pipeline)
+            channels.add(point.dram_channels)
             for name, size in point.tile_sizes:
                 tiles.setdefault(name, set()).add(size)
         return SpaceAxes(
@@ -130,6 +134,7 @@ class SpaceAxes:
             metas=tuple(sorted(metas)),
             members=frozenset(space),
             pipelines=tuple(sorted(pipelines)) or ("default",),
+            channels=tuple(sorted(channels)) or (1,),
         )
 
     def neighbors(self, point: DesignPoint) -> List[DesignPoint]:
@@ -137,14 +142,16 @@ class SpaceAxes:
 
         A step moves one gene to an adjacent value: a tile size to the next
         smaller/larger candidate, ``par`` to the next smaller/larger factor,
-        the metapipelining flag to its other value, or the pass-pipeline
-        variant to any other variant in the space.  The baseline (untiled)
+        the metapipelining flag to its other value, the pass-pipeline
+        variant to any other variant in the space, or the DRAM-channel
+        count to the next smaller/larger count.  The baseline (untiled)
         points additionally neighbour the fully-smallest and fully-largest
         tilings so tiled and untiled regions stay connected.
         """
         moved: List[DesignPoint] = []
         tiles = point.tiles
         variant = point.pipeline
+        nch = point.dram_channels
 
         for name, values in self.tile_values:
             current = tiles.get(name)
@@ -164,6 +171,7 @@ class SpaceAxes:
                             par=point.par,
                             metapipelining=point.metapipelining,
                             pipeline=variant,
+                            dram_channels=nch,
                         )
                     )
 
@@ -178,6 +186,7 @@ class SpaceAxes:
                             par=self.pars[other],
                             metapipelining=point.metapipelining,
                             pipeline=variant,
+                            dram_channels=nch,
                         )
                     )
 
@@ -188,6 +197,7 @@ class SpaceAxes:
                     par=point.par,
                     metapipelining=not point.metapipelining,
                     pipeline=variant,
+                    dram_channels=nch,
                 )
             )
 
@@ -199,8 +209,24 @@ class SpaceAxes:
                         par=point.par,
                         metapipelining=point.metapipelining,
                         pipeline=other_variant,
+                        dram_channels=nch,
                     )
                 )
+
+        ch_index = self.channels.index(nch) if nch in self.channels else None
+        if ch_index is not None:
+            for step in (-1, 1):
+                other = ch_index + step
+                if 0 <= other < len(self.channels):
+                    moved.append(
+                        DesignPoint.make(
+                            tiles or None,
+                            par=point.par,
+                            metapipelining=point.metapipelining,
+                            pipeline=variant,
+                            dram_channels=self.channels[other],
+                        )
+                    )
 
         if not tiles and self.tile_values:
             # Baseline → the corner tilings, keeping par.
@@ -209,12 +235,20 @@ class SpaceAxes:
                 for meta in self.metas:
                     moved.append(
                         DesignPoint.make(
-                            corner, par=point.par, metapipelining=meta, pipeline=variant
+                            corner,
+                            par=point.par,
+                            metapipelining=meta,
+                            pipeline=variant,
+                            dram_channels=nch,
                         )
                     )
         elif tiles:
             # Tiled → the untiled baseline at the same par.
-            moved.append(DesignPoint.make(None, par=point.par, pipeline=variant))
+            moved.append(
+                DesignPoint.make(
+                    None, par=point.par, pipeline=variant, dram_channels=nch
+                )
+            )
 
         seen: Dict[DesignPoint, None] = {}
         for candidate in moved:
@@ -240,17 +274,29 @@ class SpaceAxes:
         """
         candidates: List[DesignPoint] = []
         par_extremes = [self.pars[0], self.pars[-1]] if self.pars else []
+        channel_extremes = list(dict.fromkeys((self.channels[0], self.channels[-1])))
         for par in par_extremes:
             for variant in self.pipelines:
-                candidates.append(DesignPoint.make(None, par=par, pipeline=variant))
-                for pick in (0, -1):
-                    corner = {name: values[pick] for name, values in self.tile_values}
-                    for meta in self.metas:
-                        candidates.append(
-                            DesignPoint.make(
-                                corner or None, par=par, metapipelining=meta, pipeline=variant
-                            )
+                for nch in channel_extremes:
+                    candidates.append(
+                        DesignPoint.make(
+                            None, par=par, pipeline=variant, dram_channels=nch
                         )
+                    )
+                    for pick in (0, -1):
+                        corner = {
+                            name: values[pick] for name, values in self.tile_values
+                        }
+                        for meta in self.metas:
+                            candidates.append(
+                                DesignPoint.make(
+                                    corner or None,
+                                    par=par,
+                                    metapipelining=meta,
+                                    pipeline=variant,
+                                    dram_channels=nch,
+                                )
+                            )
         unique: Dict[DesignPoint, None] = {}
         for candidate in candidates:
             if candidate in self.members:
@@ -499,7 +545,18 @@ class GeneticStrategy(Strategy):
             variant = first.pipeline
         else:
             variant = first.pipeline if rng.random() < 0.5 else second.pipeline
-        child = DesignPoint.make(tiles or None, par=par, metapipelining=meta, pipeline=variant)
+        # Same stream-preserving rule for the DRAM-channel gene.
+        if first.dram_channels == second.dram_channels:
+            nch = first.dram_channels
+        else:
+            nch = first.dram_channels if rng.random() < 0.5 else second.dram_channels
+        child = DesignPoint.make(
+            tiles or None,
+            par=par,
+            metapipelining=meta,
+            pipeline=variant,
+            dram_channels=nch,
+        )
         return child if child in axes.members else first
 
     def _tournament(

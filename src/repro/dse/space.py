@@ -45,13 +45,18 @@ class DesignPoint:
     empty tuple denotes the untiled baseline configuration.  ``pipeline``
     names the pass-pipeline variant (:mod:`repro.pipeline.variants`) the
     point compiles through — transform orderings are a search axis just
-    like tile sizes and parallelism.
+    like tile sizes and parallelism.  ``dram_channels`` selects the
+    memory-system provisioning the event cycle backend times the point
+    under (:class:`~repro.sim.model.PerformanceModel.dram_channels`); at
+    the default 1 the point is evaluated under the session's model
+    unchanged.
     """
 
     tile_sizes: Tuple[Tuple[str, int], ...] = ()
     par: int = 16
     metapipelining: bool = False
     pipeline: str = "default"
+    dram_channels: int = 1
 
     @property
     def tiling(self) -> bool:
@@ -64,6 +69,8 @@ class DesignPoint:
     @property
     def label(self) -> str:
         suffix = f"/{self.pipeline}" if self.pipeline != "default" else ""
+        if self.dram_channels != 1:
+            suffix += f"/ch{self.dram_channels}"
         if not self.tiling:
             return f"baseline/par{self.par}{suffix}"
         tiles = ",".join(f"{name}={size}" for name, size in self.tile_sizes)
@@ -86,12 +93,14 @@ class DesignPoint:
         par: int = 16,
         metapipelining: bool = False,
         pipeline: str = "default",
+        dram_channels: int = 1,
     ) -> "DesignPoint":
         return DesignPoint(
             tile_sizes=tuple(sorted((tile_sizes or {}).items())),
             par=par,
             metapipelining=metapipelining,
             pipeline=pipeline,
+            dram_channels=dram_channels,
         )
 
 
@@ -154,6 +163,7 @@ def default_space(
     max_points: Optional[int] = None,
     include_baseline: bool = True,
     pipelines: Sequence[str] = ("default",),
+    channels: Sequence[int] = (1,),
 ) -> DesignSpace:
     """The natural sweep for a benchmark.
 
@@ -165,13 +175,21 @@ def default_space(
     optionally decimated to ``max_points`` with a deterministic stride.
     ``pipelines`` names registered pipeline variants
     (:func:`repro.pipeline.variants.pipeline_variants`); passing more than
-    one makes the transform ordering an extra search gene.
+    one makes the transform ordering an extra search gene.  ``channels``
+    likewise makes DRAM-channel provisioning a gene: each count is swept as
+    ``PerformanceModel.dram_channels`` when the point is timed under the
+    event backend (the analytical backend ignores it).
     """
     space = DesignSpace()
     if include_baseline:
         for par in pars:
             for variant in pipelines:
-                space.add(DesignPoint.make(None, par=par, pipeline=variant))
+                for nch in channels:
+                    space.add(
+                        DesignPoint.make(
+                            None, par=par, pipeline=variant, dram_channels=nch
+                        )
+                    )
 
     per_dim: List[List[Tuple[str, int]]] = []
     for name, extent in sorted(tiled_dims.items()):
@@ -182,14 +200,16 @@ def default_space(
         for par in pars:
             for meta in metapipelining:
                 for variant in pipelines:
-                    space.add(
-                        DesignPoint(
-                            tile_sizes=tuple(sorted(combo)),
-                            par=par,
-                            metapipelining=meta,
-                            pipeline=variant,
+                    for nch in channels:
+                        space.add(
+                            DesignPoint(
+                                tile_sizes=tuple(sorted(combo)),
+                                par=par,
+                                metapipelining=meta,
+                                pipeline=variant,
+                                dram_channels=nch,
+                            )
                         )
-                    )
 
     if max_points is not None and len(space) > max_points:
         stride = len(space.points) / max_points

@@ -41,6 +41,7 @@ from repro.dse.engine import evaluate_config
 from repro.dse.results import PointResult
 from repro.pipeline.pipeline import PipelineReport
 from repro.pipeline.session import CompilationResult, CompilerSession
+from repro.schedule.calibrate import CalibrationResult, calibrate_model
 from repro.schedule.compare import CycleDiscrepancy, compare_backends, discrepancy_table
 from repro.sim.metrics import SimulationResult, speedup
 from repro.sim.model import PerformanceModel
@@ -91,6 +92,11 @@ class BenchmarkResult:
     # Analytical-vs-event comparison per configuration (only populated by
     # run_benchmark/run_figure7 with compare_cycle_models=True).
     discrepancies: Dict[str, CycleDiscrepancy] = field(default_factory=dict)
+    # Per-benchmark knob fit (populated with calibrate_cycle_models=True):
+    # the analytical model refit against the event timeline of the
+    # metapipelined schedule, plus a "tiling+metapipelining/calibrated"
+    # discrepancy row showing the post-fit agreement.
+    calibration: Optional[CalibrationResult] = None
 
     @property
     def speedup_tiling(self) -> float:
@@ -181,6 +187,16 @@ class Figure7Report:
             return "(no cycle-model comparison recorded; rerun with compare_cycle_models=True)"
         return discrepancy_table(rows)
 
+    def calibration_table(self) -> str:
+        """Per-benchmark knob-fit summary (``calibrate_cycle_models=True``)."""
+        lines = []
+        for result in self.results:
+            if result.calibration is not None:
+                lines.append(f"{result.name:<10} {result.calibration.summary()}")
+        if not lines:
+            return "(no calibration recorded; rerun with calibrate_cycle_models=True)"
+        return "\n".join(lines)
+
     def pass_table(self) -> str:
         """Per-pass timing/caching breakdown across every compiled config.
 
@@ -229,6 +245,7 @@ def run_benchmark(
     session: Optional[CompilerSession] = None,
     cycle_model: str = "analytical",
     compare_cycle_models: bool = False,
+    calibrate_cycle_models: bool = False,
 ) -> BenchmarkResult:
     """Compile and simulate all three configurations of one benchmark.
 
@@ -243,6 +260,13 @@ def run_benchmark(
     from; ``compare_cycle_models=True`` additionally runs *both* backends
     on every configuration's schedule and records the per-configuration
     :class:`~repro.schedule.compare.CycleDiscrepancy`.
+    ``calibrate_cycle_models=True`` further fits the analytical knobs to
+    the event timeline of the metapipelined schedule
+    (:func:`repro.schedule.calibrate.calibrate_model`) and records the
+    post-fit agreement as a ``tiling+metapipelining/calibrated``
+    discrepancy row; the reported speedups are untouched — the fitted
+    model exists only to document how closely the closed forms *can*
+    track the timeline.
     """
     bench = get_benchmark(name)
     sizes = dict(sizes or bench.default_sizes)
@@ -274,6 +298,15 @@ def run_benchmark(
                 evaluated.compilation.schedule, model if model is not None else session.model
             )
 
+    calibration: Optional[CalibrationResult] = None
+    if calibrate_cycle_models:
+        base = model if model is not None else session.model
+        meta_schedule = results["tiling+metapipelining"].compilation.schedule
+        calibration = calibrate_model([meta_schedule], base=base)
+        discrepancies["tiling+metapipelining/calibrated"] = compare_backends(
+            meta_schedule, base, analytical_model=calibration.fitted
+        )
+
     baseline_area = results["baseline"].compilation.area
     for label in ("tiling", "tiling+metapipelining"):
         results[label].relative_resources = relative_area(
@@ -288,11 +321,12 @@ def run_benchmark(
         metapipelining=results["tiling+metapipelining"],
         cycle_model=cycle_model,
         discrepancies=discrepancies,
+        calibration=calibration,
     )
 
 
 def _run_benchmark_task(args) -> BenchmarkResult:
-    name, sizes, board, model, cycle_model, compare_cycle_models = args
+    name, sizes, board, model, cycle_model, compare_cycle_models, calibrate = args
     return run_benchmark(
         name,
         sizes=sizes,
@@ -300,6 +334,7 @@ def _run_benchmark_task(args) -> BenchmarkResult:
         model=model,
         cycle_model=cycle_model,
         compare_cycle_models=compare_cycle_models,
+        calibrate_cycle_models=calibrate,
     )
 
 
@@ -318,6 +353,7 @@ def run_figure7(
     report_passes: bool = False,
     cycle_model: str = "analytical",
     compare_cycle_models: bool = False,
+    calibrate_cycle_models: bool = False,
 ) -> Figure7Report:
     """Reproduce Figure 7 across the benchmark suite.
 
@@ -340,6 +376,9 @@ def run_figure7(
     ``compare_cycle_models=True`` runs both backends per configuration and
     populates :meth:`Figure7Report.discrepancy_table`, the calibration
     report for the analytical model's knobs.
+    ``calibrate_cycle_models=True`` fits those knobs per benchmark against
+    the event timeline and populates
+    :meth:`Figure7Report.calibration_table` (speedups stay untouched).
 
     ``dse_strategy`` additionally searches each benchmark's design space
     (``"exhaustive"``, ``"hill-climb"``, ``"genetic"`` or a
@@ -363,7 +402,15 @@ def run_figure7(
     """
     names = list(benchmarks) if benchmarks else [bench.name for bench in all_benchmarks()]
     tasks = [
-        (name, (sizes_override or {}).get(name), board, model, cycle_model, compare_cycle_models)
+        (
+            name,
+            (sizes_override or {}).get(name),
+            board,
+            model,
+            cycle_model,
+            compare_cycle_models,
+            calibrate_cycle_models,
+        )
         for name in names
     ]
     report = Figure7Report()
@@ -383,8 +430,9 @@ def run_figure7(
                 session=session,
                 cycle_model=cycle_model,
                 compare_cycle_models=compare_cycle_models,
+                calibrate_cycle_models=calibrate_cycle_models,
             )
-            for name, sizes, _, _, _, _ in tasks
+            for name, sizes, *_ in tasks
         ]
     if report_passes:
         over_budget = sorted(

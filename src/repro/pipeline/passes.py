@@ -27,7 +27,7 @@ pipeline serve the baseline and the optimised configurations alike.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Mapping, Optional, Tuple
+from typing import Dict, Hashable, Mapping, Optional, Tuple, Union
 
 from repro.analysis.area import estimate_area
 from repro.config import CompileConfig
@@ -354,6 +354,12 @@ class RewriteScheduleStage(PipelinePass):
     pass record's ``details`` in the :class:`PipelineReport`.  Never
     memoised: the schedule is a workload-bound artifact, exactly like the
     design it was lowered from.
+
+    ``balance_factor`` may be a number or ``"auto"`` (tune per schedule by
+    scoring rewritten candidates with the event backend);
+    ``cost_source`` picks the rebalancer's stage-cost oracle —
+    ``"analytical"`` closed forms or measured ``"event"`` stage profiles.
+    The ``rewrite-profiled`` pipeline variant runs with both set.
     """
 
     name = "rewrite-schedule"
@@ -362,12 +368,14 @@ class RewriteScheduleStage(PipelinePass):
     def __init__(
         self,
         name: Optional[str] = None,
-        balance_factor: Optional[float] = None,
+        balance_factor: Union[float, str, None] = None,
         measure_cycles: bool = True,
+        cost_source: str = "analytical",
     ) -> None:
         super().__init__(name)
         self.balance_factor = balance_factor
         self.measure_cycles = measure_cycles
+        self.cost_source = cost_source
 
     def run(self, program: Program, ctx: PassContext) -> Program:
         from repro.schedule.rewrite import DEFAULT_BALANCE_FACTOR, rewrite_schedule
@@ -386,11 +394,14 @@ class RewriteScheduleStage(PipelinePass):
                 if self.balance_factor is not None
                 else DEFAULT_BALANCE_FACTOR
             ),
+            cost_source=self.cost_source,
         )
         ctx.artifacts["schedule"] = result.schedule
         details: Dict[str, object] = {
             "rewrite_hits": dict(result.hits),
             "rewrite_rounds": result.rounds,
+            "balance_factor": result.balance_factor,
+            "cost_source": self.cost_source,
         }
         if self.measure_cycles:
             from repro.schedule.event import EventScheduleBackend
@@ -408,15 +419,21 @@ class RewriteScheduleStage(PipelinePass):
         return program
 
     def signature(self) -> Tuple[str, str]:
-        """Fold the (resolved) balance factor in: it changes the rewritten
-        schedule, so point-result cache keys must distinguish rewriter
-        tunings — including a future change of the default factor."""
+        """Fold the (resolved) balance factor and cost source in: both
+        change the rewritten schedule, so point-result cache keys must
+        distinguish rewriter tunings — including a future change of the
+        default factor.  ``"auto"`` stays symbolic (the tuned value is
+        schedule-dependent but deterministic given the workload, which the
+        rest of the key already pins)."""
         from repro.schedule.rewrite import DEFAULT_BALANCE_FACTOR
 
         factor = (
             self.balance_factor if self.balance_factor is not None else DEFAULT_BALANCE_FACTOR
         )
-        return (f"{type(self).__name__}[bf={factor}]", self.name)
+        return (
+            f"{type(self).__name__}[bf={factor},cs={self.cost_source}]",
+            self.name,
+        )
 
 
 class EstimateAreaStage(PipelinePass):

@@ -95,6 +95,17 @@ _VARIANTS: Dict[str, Callable[[], Pipeline]] = {
     "rewrite": lambda: default_pipeline()
     .inserted_after("build-schedule", RewriteScheduleStage())
     .renamed("rewrite"),
+    # The profile-guided rewriter: stage rebalancing priced from measured
+    # event-backend stage profiles (contention and backpressure included)
+    # with the balance factor tuned per schedule by scoring rewritten
+    # candidates on the event backend.  Costs extra event runs at compile
+    # time; "rewrite" stays the cheap closed-form variant.
+    "rewrite-profiled": lambda: default_pipeline()
+    .inserted_after(
+        "build-schedule",
+        RewriteScheduleStage(balance_factor="auto", cost_source="event"),
+    )
+    .renamed("rewrite-profiled"),
 }
 
 

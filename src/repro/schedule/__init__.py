@@ -45,16 +45,24 @@ from repro.schedule.ir import (
 )
 from repro.schedule.lower import build_schedule
 from repro.schedule.analytical import AnalyticalScheduleBackend
-from repro.schedule.event import EventScheduleBackend
+from repro.schedule.event import EventScheduleBackend, StageProfile
 from repro.schedule.compare import (
     CYCLE_MODELS,
     DEFAULT_TOLERANCE,
+    UNCALIBRATED_TOLERANCE,
     CycleDiscrepancy,
     compare_backends,
     discrepancy_table,
     get_backend,
 )
+from repro.schedule.calibrate import (
+    CALIBRATED_KNOBS,
+    CalibrationResult,
+    calibrate_benchmark,
+    calibrate_model,
+)
 from repro.schedule.rewrite import (
+    BALANCE_FACTOR_CANDIDATES,
     DegenerateGroupFlattening,
     Rewrite,
     RewriteResult,
@@ -62,12 +70,16 @@ from repro.schedule.rewrite import (
     StageRebalancing,
     TransferCoalescing,
     rewrite_schedule,
+    tune_balance_factor,
     verify_rewrite,
 )
 
 __all__ = [
     "AnalyticalScheduleBackend",
+    "BALANCE_FACTOR_CANDIDATES",
+    "CALIBRATED_KNOBS",
     "CYCLE_MODELS",
+    "CalibrationResult",
     "ComputeNode",
     "CycleDiscrepancy",
     "DEFAULT_TOLERANCE",
@@ -84,13 +96,18 @@ __all__ = [
     "ScheduleRewriter",
     "SequentialSchedule",
     "StageGroup",
+    "StageProfile",
     "StageRebalancing",
     "StreamNode",
     "TransferCoalescing",
     "TransferNode",
+    "UNCALIBRATED_TOLERANCE",
     "build_schedule",
+    "calibrate_benchmark",
+    "calibrate_model",
     "compare_backends",
     "get_backend",
     "rewrite_schedule",
+    "tune_balance_factor",
     "verify_rewrite",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "CYCLE_MODELS",
     "CycleDiscrepancy",
     "DEFAULT_TOLERANCE",
+    "UNCALIBRATED_TOLERANCE",
     "compare_backends",
     "discrepancy_table",
     "get_backend",
@@ -36,13 +37,20 @@ CYCLE_MODELS = {
     "event": EventScheduleBackend,
 }
 
-#: Documented agreement bound between the backends on the calibration
-#: benchmarks (outerprod and tpchq6): the event simulator's cycle count
-#: stays within this relative distance of the analytical model's.  The
-#: largest observed gap is outerprod's metapipelined design (~0.36), where
-#: the analytical model credits full overlap to tile transfers that the
-#: event simulator serializes on the shared DRAM channel.
-DEFAULT_TOLERANCE = 0.40
+#: Documented agreement bound between the backends once the analytical
+#: model's knobs are calibrated per benchmark
+#: (:func:`repro.schedule.calibrate.calibrate_model`): the analytical
+#: cycle count under the fitted knobs stays within this relative distance
+#: of the event simulator's.  ``benchmarks/bench_sim.py`` asserts it for
+#: every benchmark's metapipelined configuration.
+DEFAULT_TOLERANCE = 0.25
+
+#: Agreement bound for *uncalibrated* default-knob comparisons — the bound
+#: DEFAULT_TOLERANCE replaced.  The largest observed raw gap is
+#: outerprod's metapipelined design (~0.35), where the analytical model
+#: credits full overlap to tile transfers that the event simulator
+#: serializes on the shared single DRAM channel.
+UNCALIBRATED_TOLERANCE = 0.40
 
 
 def get_backend(
@@ -93,10 +101,21 @@ class CycleDiscrepancy:
 
 
 def compare_backends(
-    schedule: Schedule, model: Optional[PerformanceModel] = None
+    schedule: Schedule,
+    model: Optional[PerformanceModel] = None,
+    analytical_model: Optional[PerformanceModel] = None,
 ) -> CycleDiscrepancy:
-    """Run both cycle backends on one schedule and report their disagreement."""
-    analytical: SimulationResult = AnalyticalScheduleBackend(model).run(schedule)
+    """Run both cycle backends on one schedule and report their disagreement.
+
+    ``analytical_model`` lets the analytical backend run under different
+    knobs than the event reference — the calibrated comparison
+    (:mod:`repro.schedule.calibrate` fits knobs so the closed forms track
+    the event timeline) hands the fitted model here while the event
+    backend keeps the base model.
+    """
+    analytical: SimulationResult = AnalyticalScheduleBackend(
+        analytical_model if analytical_model is not None else model
+    ).run(schedule)
     event: SimulationResult = EventScheduleBackend(model).run(schedule)
     return CycleDiscrepancy(
         name=schedule.name,

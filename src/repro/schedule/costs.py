@@ -10,6 +10,7 @@ here reaches both backends, a tweak anywhere else cannot split them.
 
 from __future__ import annotations
 
+from repro.errors import SimulationError
 from repro.schedule.ir import ComputeNode, StreamNode
 from repro.sim.model import PerformanceModel
 from repro.target.device import Board
@@ -17,18 +18,40 @@ from repro.target.device import Board
 __all__ = ["pipeline_cycles", "stream_cycles", "transfer_cycles"]
 
 
+def _bytes_per_cycle(board: Board, efficiency: float, knob: str) -> float:
+    """Effective DRAM bandwidth, rejecting degenerate models loudly.
+
+    A zero (or negative) efficiency would otherwise surface as a bare
+    ``ZeroDivisionError`` from the middle of a DSE sweep; both cost paths
+    share this guard so they fail identically, as a
+    :class:`~repro.errors.SimulationError` naming the bad knob.
+    """
+    bpc = board.bytes_per_cycle * efficiency
+    if bpc <= 0:
+        raise SimulationError(
+            f"model yields {bpc} DRAM bytes/cycle "
+            f"(board {board.bytes_per_cycle} bytes/cycle × {knob}={efficiency}); "
+            "transfers cannot be priced at zero bandwidth"
+        )
+    return bpc
+
+
 def transfer_cycles(board: Board, model: PerformanceModel, num_bytes: float) -> float:
     """One tile load/store: a DRAM latency plus the burst-aligned transfer."""
     if num_bytes <= 0:
         return 0.0
-    bpc = board.bytes_per_cycle * model.tiled_stream_efficiency
+    bpc = _bytes_per_cycle(
+        board, model.tiled_stream_efficiency, "tiled_stream_efficiency"
+    )
     return board.memory.latency_cycles + num_bytes / bpc
 
 
 def stream_cycles(board: Board, model: PerformanceModel, stream: StreamNode) -> float:
     """One baseline stream: derated transfer plus latency per command stream."""
-    bpc = board.bytes_per_cycle * model.baseline_stream_efficiency
-    transfer = stream.total_bytes / bpc if bpc else 0.0
+    bpc = _bytes_per_cycle(
+        board, model.baseline_stream_efficiency, "baseline_stream_efficiency"
+    )
+    transfer = stream.total_bytes / bpc
     overhead = (
         stream.requests
         * board.memory.latency_cycles

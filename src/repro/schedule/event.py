@@ -13,9 +13,13 @@ only approximate are modelled explicitly:
   ahead of its consumer (the two halves of the double buffer); when the
   producer would overrun, it stalls and the stalled cycles are accounted in
   ``stall_cycles``;
-* **memory contention** — every transfer and stream shares one DRAM
-  channel; logically concurrent transfers serialize on it, and the waiting
-  is accounted in ``contention_cycles``.
+* **memory contention** — every transfer and stream shares the DRAM
+  subsystem (:attr:`~repro.sim.model.PerformanceModel.dram_channels`
+  channels, one by default); logically concurrent transfers mapped to the
+  same channel serialize on it, and the waiting is accounted in
+  ``contention_cycles``.  With several channels the interleaving policy
+  (``"address"`` pins each source array to a channel, ``"round-robin"``
+  rotates requests) decides who shares.
 
 Per-invocation leaf durations reuse the analytical formulas (a transfer
 still costs latency + bytes/bandwidth), so the two backends agree exactly
@@ -36,7 +40,9 @@ steady state.  Per-node cycles stay explicit-window-only.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from repro.errors import SimulationError
 from repro.schedule.costs import pipeline_cycles, stream_cycles, transfer_cycles
@@ -53,15 +59,23 @@ from repro.schedule.ir import (
 from repro.sim.metrics import SimulationResult
 from repro.sim.model import PerformanceModel
 
-__all__ = ["EventScheduleBackend", "EVENT_UNROLL_LIMIT"]
+__all__ = [
+    "EventScheduleBackend",
+    "EVENT_UNROLL_LIMIT",
+    "INTERLEAVING_POLICIES",
+    "StageProfile",
+]
 
 #: Iterations of one stage group the event simulator plays out explicitly
 #: before switching to steady-state extrapolation.
 EVENT_UNROLL_LIMIT = 256
 
+#: Channel-interleaving policies the DRAM subsystem understands.
+INTERLEAVING_POLICIES = ("address", "round-robin")
+
 
 class _MemoryChannel:
-    """One shared DRAM channel: transfers serialize, waiting is contention."""
+    """One DRAM channel: transfers serialize, waiting is contention."""
 
     def __init__(self) -> None:
         self.free_at = 0.0
@@ -76,6 +90,81 @@ class _MemoryChannel:
         return self.free_at
 
 
+class _MemorySubsystem:
+    """The DRAM subsystem: one or more channels behind an interleaver.
+
+    ``dram_channels == 1`` degenerates to the single shared channel (every
+    policy maps every request to channel 0), which is what keeps the event
+    backend bit-for-bit with earlier releases at the default model.  The
+    ``"address"`` policy pins each source array to a channel by a stable
+    hash of its name — deterministic across processes, unlike ``hash()`` —
+    and ``"round-robin"`` rotates successive requests across channels.
+    """
+
+    def __init__(self, channels: int = 1, interleaving: str = "address") -> None:
+        if channels < 1:
+            raise SimulationError(
+                f"dram_channels must be >= 1, got {channels}"
+            )
+        if interleaving not in INTERLEAVING_POLICIES:
+            raise SimulationError(
+                f"unknown dram_interleaving {interleaving!r}; "
+                f"choose from {list(INTERLEAVING_POLICIES)}"
+            )
+        self.channels: List[_MemoryChannel] = [
+            _MemoryChannel() for _ in range(channels)
+        ]
+        self.interleaving = interleaving
+        self._cursor = 0
+        # Contention accrued by steady-state extrapolation: scaled tail
+        # cycles belong to the subsystem, not to any one channel's timeline.
+        self.extrapolated_contention = 0.0
+
+    def _select(self, key: str) -> _MemoryChannel:
+        if len(self.channels) == 1:
+            return self.channels[0]
+        if self.interleaving == "round-robin":
+            channel = self.channels[self._cursor % len(self.channels)]
+            self._cursor += 1
+            return channel
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+        return self.channels[int.from_bytes(digest, "big") % len(self.channels)]
+
+    def transfer(self, key: str, ready: float, duration: float) -> float:
+        return self._select(key).transfer(ready, duration)
+
+    @property
+    def contention_cycles(self) -> float:
+        return (
+            sum(channel.contention_cycles for channel in self.channels)
+            + self.extrapolated_contention
+        )
+
+    @property
+    def busy_cycles(self) -> float:
+        return sum(channel.busy_cycles for channel in self.channels)
+
+
+@dataclass
+class StageProfile:
+    """Measured per-stage behaviour of one metapipeline group.
+
+    Collected by :meth:`EventScheduleBackend.profile_schedule` over the
+    explicitly simulated iterations: ``durations`` is each stage's mean
+    begin-to-done time (inner DRAM waits included — a contention-bound
+    stage *measures* slow, which is exactly what the rebalancer should
+    see), ``stalls`` the booked double-buffer stall cycles per stage and
+    ``waits`` the raw backpressure waits (including cascade shadows the
+    stall accounting deduplicates).
+    """
+
+    stage_names: List[str] = field(default_factory=list)
+    durations: List[float] = field(default_factory=list)
+    stalls: List[float] = field(default_factory=list)
+    waits: List[float] = field(default_factory=list)
+    iterations: int = 0
+
+
 class EventScheduleBackend:
     """Plays a schedule out on an event timeline with shared-resource stalls."""
 
@@ -85,9 +174,15 @@ class EventScheduleBackend:
         self,
         model: Optional[PerformanceModel] = None,
         unroll_limit: int = EVENT_UNROLL_LIMIT,
+        profile: bool = False,
     ) -> None:
         self.model = model or PerformanceModel()
         self.unroll_limit = max(1, unroll_limit)
+        self.profile = profile
+        #: Per-metapipeline-group :class:`StageProfile`, keyed by ``id()``
+        #: of the group node, filled by the last :meth:`run` when
+        #: ``profile`` is on.
+        self.stage_profiles: Dict[int, StageProfile] = {}
 
     # -- public API ----------------------------------------------------------
     def run(self, schedule: Schedule) -> SimulationResult:
@@ -96,7 +191,11 @@ class EventScheduleBackend:
         self._memory_cycles = 0.0
         self._buffer_stall_cycles = 0.0
         self._board = schedule.board
-        self._channel = _MemoryChannel()
+        self._channel = _MemorySubsystem(
+            channels=self.model.dram_channels,
+            interleaving=self.model.dram_interleaving,
+        )
+        self.stage_profiles = {}
         finish = self._run(schedule.root, 0.0)
         return SimulationResult(
             design_name=schedule.name,
@@ -113,6 +212,22 @@ class EventScheduleBackend:
             stall_cycles=self._buffer_stall_cycles,
             contention_cycles=self._channel.contention_cycles,
         )
+
+    def profile_schedule(self, schedule: Schedule) -> Dict[int, StageProfile]:
+        """Run the schedule and return per-metapipeline stage profiles.
+
+        The profiles are keyed by ``id()`` of the (live) metapipeline group
+        nodes of ``schedule``, so a caller holding the same tree — the
+        schedule rewriter does — can look up the measured behaviour of each
+        group it is about to restructure.
+        """
+        previous = self.profile
+        self.profile = True
+        try:
+            self.run(schedule)
+        finally:
+            self.profile = previous
+        return self.stage_profiles
 
     # -- event evaluation ----------------------------------------------------
     def _run(self, node: ScheduleNode, start: float) -> float:
@@ -139,12 +254,12 @@ class EventScheduleBackend:
         elif isinstance(node, TransferNode):
             duration = self._transfer_duration(node.bytes_per_invocation)
             self._memory_cycles += duration
-            finish = self._channel.transfer(start, duration)
+            finish = self._channel.transfer(node.source or node.name, start, duration)
             busy = duration
         elif isinstance(node, StreamNode):
             duration = self._stream_duration(node)
             self._memory_cycles += duration
-            finish = self._channel.transfer(start, duration)
+            finish = self._channel.transfer(node.source or node.name, start, duration)
             busy = duration
         elif isinstance(node, ComputeNode):
             duration = self._pipeline_duration(node)
@@ -192,20 +307,37 @@ class EventScheduleBackend:
         self._compute_cycles += (self._compute_cycles - compute) * scale
         self._memory_cycles += (self._memory_cycles - memory) * scale
         self._buffer_stall_cycles += (self._buffer_stall_cycles - stalls) * scale
-        self._channel.contention_cycles += (
+        self._channel.extrapolated_contention += (
             self._channel.contention_cycles - contention
         ) * scale
 
     def _unrolled(self, group, start: float, round_fn) -> float:
-        """Run ``round_fn`` per iteration, extrapolating past the unroll cap."""
+        """Run ``round_fn`` per iteration, extrapolating past the unroll cap.
+
+        The extrapolation window excludes the first iteration whenever more
+        than one ran explicitly: iteration 0 may hit cold DRAM channels
+        (no earlier transfer to wait behind), so including it would skew
+        ``per_iteration`` optimistic for every transfer-bearing group —
+        the same warm-up exclusion the metapipeline recurrence applies.
+        """
         iterations = group.iterations
         explicit = min(iterations, self.unroll_limit)
         snapshot = self._counters()
+        warm_snapshot = snapshot
+        warm_start = start
         t = start
-        for _ in range(explicit):
+        for index in range(explicit):
+            if index == 1:
+                warm_snapshot = self._counters()
+                warm_start = t
             t = round_fn(t)
         remaining = iterations - explicit
-        if remaining > 0 and explicit > 0:
+        if remaining > 0 and explicit > 1:
+            window = explicit - 1
+            per_iteration = (t - warm_start) / window
+            t += per_iteration * remaining
+            self._extrapolate_counters(warm_snapshot, remaining / window)
+        elif remaining > 0 and explicit > 0:
             per_iteration = (t - start) / explicit
             t += per_iteration * remaining
             self._extrapolate_counters(snapshot, remaining / explicit)
@@ -219,9 +351,12 @@ class EventScheduleBackend:
         sync = self.model.metapipeline_sync
         # stage_free[i]: when stage i's unit finished its previous iteration;
         # prev_begin[i]: when stage i *began* its previous iteration (the
-        # consumer-side signal that frees one half of the double buffer).
+        # consumer-side signal that frees one half of the double buffer);
+        # prev_wait[i]: how long stage i waited on that signal last
+        # iteration — the cascade-deduplication reference (see below).
         stage_free = [start] * n
         prev_begin = [start] * n
+        prev_wait = [0.0] * n
         explicit = min(group.iterations, self.unroll_limit)
         # The pipeline fills over roughly the first n iterations (and the
         # backpressure pattern settles with it); the extrapolation window
@@ -232,6 +367,9 @@ class EventScheduleBackend:
         window_snapshot = self._counters()
         window_finish = start
         stage_durations = [0.0] * n
+        duration_sums = [0.0] * n
+        stall_sums = [0.0] * n
+        wait_sums = [0.0] * n
         finish = start
         for iteration in range(explicit):
             if iteration == warmup:
@@ -239,6 +377,7 @@ class EventScheduleBackend:
                 window_finish = finish
             upstream_done = start
             begins = [start] * n
+            waits = [0.0] * n
             for i, stage in enumerate(stages):
                 begin = max(stage_free[i], upstream_done)
                 if iteration > 0 and i + 1 < n:
@@ -246,15 +385,39 @@ class EventScheduleBackend:
                     # most one iteration ahead of its consumer.
                     released = prev_begin[i + 1]
                     if begin < released:
-                        self._buffer_stall_cycles += released - begin
+                        wait = released - begin
+                        waits[i] = wait
+                        # The consumer's begin was itself pushed back by
+                        # whatever *it* waited for last iteration; that part
+                        # of this wait is the same delay echoing one stage
+                        # upstream, not a new stall.  Booking only the
+                        # increment keeps the aggregate a critical-path
+                        # quantity: per iteration the booked stalls
+                        # telescope to at most the steady-state period, so
+                        # a run's stall total can never exceed
+                        # (n_stages − 1) × makespan.
+                        booked = max(0.0, wait - prev_wait[i + 1])
+                        self._buffer_stall_cycles += booked
+                        stall_sums[i] += booked
                         begin = released
                 begins[i] = begin
                 done = self._run(stage, begin)
                 stage_durations[i] = done - begin
+                duration_sums[i] += done - begin
+                wait_sums[i] += waits[i]
                 upstream_done = done + sync
                 stage_free[i] = upstream_done
             prev_begin = begins
+            prev_wait = waits
             finish = max(stage_free)
+        if self.profile:
+            self.stage_profiles[id(group)] = StageProfile(
+                stage_names=[stage.name for stage in stages],
+                durations=[total / explicit for total in duration_sums],
+                stalls=stall_sums,
+                waits=wait_sums,
+                iterations=explicit,
+            )
         remaining = group.iterations - explicit
         if remaining > 0:
             window = explicit - warmup

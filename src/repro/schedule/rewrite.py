@@ -12,13 +12,20 @@ tree — the hardware inventory is never touched, only *when* things run:
   where one coalesced load costs one; on the shared channel of the event
   model that latency is occupancy every other transfer waits behind.
 * :class:`StageRebalancing` — metapipeline stages are split and merged so
-  per-stage cycle estimates (the analytical closed forms of
-  :mod:`repro.schedule.costs`) sit within a balance factor of the slowest
+  per-stage cycle estimates sit within a balance factor of the slowest
   stage.  A bottleneck stage that is itself a sequential group is split
   into separate overlapped stages; adjacent under-full stages merge into
   one stage, trimming per-stage sync handshakes and fill latency while the
   steady-state period — set by the slowest stage — is provably unchanged
   (pairs only merge when their combined estimate stays at or below it).
+  The cost oracle is selectable: ``cost_source="analytical"`` prices
+  stages with the closed forms of :mod:`repro.schedule.costs`,
+  ``cost_source="event"`` measures them from an event-backend profile
+  (:meth:`~repro.schedule.event.EventScheduleBackend.profile_schedule`),
+  so contention- and stall-bound stages are seen at their *observed*
+  durations rather than their idealised ones.  :func:`tune_balance_factor`
+  picks the factor per schedule by scoring rewritten candidates with the
+  event backend (``balance_factor="auto"`` in :func:`rewrite_schedule`).
 * :class:`DegenerateGroupFlattening` — a stage group with one stage and one
   iteration is pure nesting overhead (the generator emits them around
   single-pattern bodies); the child takes its place.
@@ -46,10 +53,11 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import ScheduleRewriteError
 from repro.schedule.costs import pipeline_cycles, stream_cycles, transfer_cycles
+from repro.schedule.event import EventScheduleBackend, StageProfile
 from repro.schedule.ir import (
     ComputeNode,
     MetapipelineSchedule,
@@ -64,6 +72,8 @@ from repro.schedule.ir import (
 from repro.sim.model import PerformanceModel
 
 __all__ = [
+    "BALANCE_FACTOR_CANDIDATES",
+    "COST_SOURCES",
     "DEFAULT_BALANCE_FACTOR",
     "DegenerateGroupFlattening",
     "Rewrite",
@@ -74,13 +84,21 @@ __all__ = [
     "clone_schedule",
     "node_cycles",
     "rewrite_schedule",
+    "tune_balance_factor",
     "verify_rewrite",
 ]
 
-#: Stages whose analytical estimate is below ``slowest / factor`` count as
+#: Stages whose cycle estimate is below ``slowest / factor`` count as
 #: under-full (merge candidates); a group stage above ``factor × the rest``
 #: is a bottleneck (split candidate).
 DEFAULT_BALANCE_FACTOR = 2.0
+
+#: The factors :func:`tune_balance_factor` scores when asked to pick one
+#: per schedule (``balance_factor="auto"``).
+BALANCE_FACTOR_CANDIDATES = (1.25, 1.5, 2.0, 3.0, 4.0)
+
+#: Legal stage-cost oracles for :class:`StageRebalancing`.
+COST_SOURCES = ("analytical", "event")
 
 
 # ---------------------------------------------------------------------------
@@ -244,7 +262,12 @@ class TransferCoalescing(Rewrite):
 class StageRebalancing(Rewrite):
     """Split bottleneck group stages and merge under-full neighbours.
 
-    Guided by the analytical per-node estimates (:func:`node_cycles`):
+    Guided by per-stage cycle costs from the selected oracle
+    (``cost_source``): the analytical closed forms (:func:`node_cycles`,
+    the default) or measured event-backend stage profiles — mean
+    begin-to-done durations including DRAM contention waits and
+    backpressure effects, so a stage the closed forms call cheap but the
+    timeline shows contention-bound is balanced at its observed weight:
 
     * **split** — a metapipeline stage that is itself a sequential group
       (one iteration, several children) and costs more than
@@ -259,25 +282,69 @@ class StageRebalancing(Rewrite):
 
     name = "rebalance-stages"
 
-    def __init__(self, balance_factor: float = DEFAULT_BALANCE_FACTOR) -> None:
+    def __init__(
+        self,
+        balance_factor: float = DEFAULT_BALANCE_FACTOR,
+        cost_source: str = "analytical",
+    ) -> None:
         if balance_factor < 1.0:
             raise ValueError(f"balance_factor must be >= 1.0, got {balance_factor}")
+        if cost_source not in COST_SOURCES:
+            raise ValueError(
+                f"unknown cost_source {cost_source!r}; choose from {list(COST_SOURCES)}"
+            )
         self.balance_factor = balance_factor
+        self.cost_source = cost_source
+
+    def _profiles(
+        self, schedule: Schedule, model: PerformanceModel
+    ) -> Optional[Dict[int, StageProfile]]:
+        if self.cost_source != "event":
+            return None
+        return EventScheduleBackend(model).profile_schedule(schedule)
+
+    def _stage_costs(
+        self,
+        group: MetapipelineSchedule,
+        board,
+        model,
+        profiles: Optional[Dict[int, StageProfile]],
+    ) -> List[float]:
+        """Per-stage costs from the profile when one covers the group.
+
+        Falls back to the analytical closed forms for groups the profile
+        missed (a nested metapipeline that never executed) or whose stage
+        list no longer matches (the tree changed since profiling).
+        """
+        if profiles is not None:
+            profile = profiles.get(id(group))
+            if profile is not None and len(profile.durations) == len(group.stages):
+                return list(profile.durations)
+        return [node_cycles(stage, board, model) for stage in group.stages]
 
     def apply(self, schedule: Schedule, model: PerformanceModel) -> int:
         board = schedule.board
         hits = 0
+        profiles = self._profiles(schedule, model)
         for group in _groups(schedule):
             if not isinstance(group, MetapipelineSchedule) or group.iterations <= 1:
                 continue
-            hits += self._split(group, board, model)
-            hits += self._merge(group, board, model)
+            split_hits = self._split(
+                group, board, model, self._stage_costs(group, board, model, profiles)
+            )
+            if split_hits and profiles is not None:
+                # The tree changed: measure the new stages before merging
+                # instead of mixing measured and stale costs.
+                profiles = self._profiles(schedule, model)
+            hits += split_hits
+            hits += self._merge(
+                group, board, model, self._stage_costs(group, board, model, profiles)
+            )
         return hits
 
-    def _split(self, group: MetapipelineSchedule, board, model) -> int:
+    def _split(self, group: MetapipelineSchedule, board, model, costs: List[float]) -> int:
         hits = 0
         stages: List[ScheduleNode] = []
-        costs = [node_cycles(stage, board, model) for stage in group.stages]
         for index, stage in enumerate(group.stages):
             rest = max((c for i, c in enumerate(costs) if i != index), default=0.0)
             if (
@@ -297,10 +364,10 @@ class StageRebalancing(Rewrite):
         group.stages = stages
         return hits
 
-    def _merge(self, group: MetapipelineSchedule, board, model) -> int:
+    def _merge(self, group: MetapipelineSchedule, board, model, costs: List[float]) -> int:
         hits = 0
         stages = list(group.stages)
-        costs = [node_cycles(stage, board, model) for stage in stages]
+        costs = list(costs)
         while len(stages) > 2:
             slowest = max(costs)
             threshold = slowest / self.balance_factor
@@ -435,6 +502,9 @@ class RewriteResult:
     schedule: Schedule
     hits: Dict[str, int] = field(default_factory=dict)
     rounds: int = 0
+    #: The balance factor the rebalancer actually ran with — the tuned
+    #: value when ``balance_factor="auto"`` selected one per schedule.
+    balance_factor: Optional[float] = None
 
     @property
     def total_hits(self) -> int:
@@ -468,14 +538,18 @@ class ScheduleRewriter:
         rewrites: Optional[Sequence[Rewrite]] = None,
         balance_factor: float = DEFAULT_BALANCE_FACTOR,
         max_rounds: int = 4,
+        cost_source: str = "analytical",
     ) -> None:
+        self.balance_factor = balance_factor
         self.rewrites: List[Rewrite] = (
             list(rewrites)
             if rewrites is not None
             else [
                 DegenerateGroupFlattening(),
                 TransferCoalescing(),
-                StageRebalancing(balance_factor=balance_factor),
+                StageRebalancing(
+                    balance_factor=balance_factor, cost_source=cost_source
+                ),
             ]
         )
         self.max_rounds = max(1, max_rounds)
@@ -497,19 +571,66 @@ class ScheduleRewriter:
             if fired == 0:
                 break
         verify_rewrite(schedule, working)
-        result = RewriteResult(original=schedule, schedule=working, hits=hits, rounds=rounds)
+        result = RewriteResult(
+            original=schedule,
+            schedule=working,
+            hits=hits,
+            rounds=rounds,
+            balance_factor=self.balance_factor,
+        )
         if result.changed:
             working.notes.append(result.summary())
         return result
+
+
+def tune_balance_factor(
+    schedule: Schedule,
+    model: Optional[PerformanceModel] = None,
+    candidates: Sequence[float] = BALANCE_FACTOR_CANDIDATES,
+    cost_source: str = "analytical",
+) -> float:
+    """Pick the balance factor that minimises event-backend cycles.
+
+    Rewrites a clone of ``schedule`` once per candidate factor and scores
+    each outcome with the event backend (the model whose overlap, stall
+    and contention effects rebalancing actually changes).  Deterministic:
+    candidates are scored in order and a later candidate must be strictly
+    better to displace an earlier one, so ties resolve to the smallest
+    factor — the most conservative rebalancing among equals.
+    """
+    model = model or PerformanceModel()
+    backend = EventScheduleBackend(model)
+    best_factor = None
+    best_cycles = float("inf")
+    for factor in candidates:
+        result = ScheduleRewriter(
+            balance_factor=factor, cost_source=cost_source
+        ).rewrite(schedule, model)
+        cycles = backend.run(result.schedule).cycles
+        if cycles < best_cycles:
+            best_cycles = cycles
+            best_factor = factor
+    return best_factor if best_factor is not None else DEFAULT_BALANCE_FACTOR
 
 
 def rewrite_schedule(
     schedule: Schedule,
     model: Optional[PerformanceModel] = None,
     rewrites: Optional[Sequence[Rewrite]] = None,
-    balance_factor: float = DEFAULT_BALANCE_FACTOR,
+    balance_factor: Union[float, str] = DEFAULT_BALANCE_FACTOR,
+    cost_source: str = "analytical",
 ) -> RewriteResult:
-    """Rewrite one schedule with the default (or a custom) rewrite sequence."""
-    return ScheduleRewriter(rewrites=rewrites, balance_factor=balance_factor).rewrite(
-        schedule, model
-    )
+    """Rewrite one schedule with the default (or a custom) rewrite sequence.
+
+    ``balance_factor="auto"`` tunes the factor per schedule first
+    (:func:`tune_balance_factor`); ``cost_source`` selects the
+    rebalancer's stage-cost oracle (``"analytical"`` closed forms or
+    measured ``"event"`` profiles).  Both only shape the default rewrite
+    sequence — an explicit ``rewrites`` list is used as given.
+    """
+    factor = balance_factor
+    if factor == "auto":
+        factor = tune_balance_factor(schedule, model, cost_source=cost_source)
+    return ScheduleRewriter(
+        rewrites=rewrites, balance_factor=factor, cost_source=cost_source
+    ).rewrite(schedule, model)

@@ -32,6 +32,17 @@ class PerformanceModel:
         pipeline_fill: extra cycles to fill a pipelined execution unit.
         metapipeline_sync: controller synchronisation overhead per stage per
             iteration (double-buffer swap, done/enable handshake).
+        dram_channels: independent DRAM channels the event simulator
+            arbitrates transfers over.  The default of 1 reproduces the
+            single shared channel (bit-for-bit with earlier releases);
+            larger counts let logically concurrent metapipeline transfers
+            proceed in parallel instead of serializing.  The analytical
+            backend ignores this knob — it never models contention.
+        dram_interleaving: how transfers are mapped to channels when
+            ``dram_channels > 1``: ``"address"`` pins each source array to
+            one channel by a stable hash of its name (address-range
+            interleaving at array granularity), ``"round-robin"`` rotates
+            successive requests across channels regardless of source.
     """
 
     baseline_stream_efficiency: float = 0.55
@@ -39,3 +50,5 @@ class PerformanceModel:
     baseline_outstanding: int = 4
     pipeline_fill: int = 24
     metapipeline_sync: int = 4
+    dram_channels: int = 1
+    dram_interleaving: str = "address"

@@ -74,6 +74,45 @@ class TestEvaluatePoint:
             == event.cycles
         )
 
+    def test_channel_counts_key_memoised_results_separately(self):
+        bench = get_benchmark("outerprod")
+        bindings = bench.bindings({"m": 1024, "n": 1024}, np.random.default_rng(0))
+        program = bench.build()
+        base = DesignPoint.make({"m": 256, "n": 256}, par=16, metapipelining=True)
+        wide = DesignPoint.make(
+            {"m": 256, "n": 256}, par=16, metapipelining=True, dram_channels=2
+        )
+        one = evaluate_point(program, bindings, base, cycle_model="event")
+        two = evaluate_point(program, bindings, wide, cycle_model="event")
+        # outerprod's two tile loads contend on a single channel; the
+        # second channel removes that serialization, so the counts differ —
+        # and each point must hit its own memo entry.
+        assert two.cycles < one.cycles
+        assert (
+            evaluate_point(program, bindings, base, cycle_model="event").cycles
+            == one.cycles
+        )
+        assert (
+            evaluate_point(program, bindings, wide, cycle_model="event").cycles
+            == two.cycles
+        )
+
+    def test_channel_gene_is_inert_under_the_analytical_model(self):
+        # The analytical closed forms have no channel timeline: a ch2 point
+        # must report the same cycles as the ch1 point (only the event
+        # reference reacts to the gene).
+        bench = get_benchmark("sumrows")
+        bindings = bench.bindings({"m": 1024, "n": 128}, np.random.default_rng(0))
+        program = bench.build()
+        base = DesignPoint.make({"m": 128}, par=8, metapipelining=True)
+        wide = DesignPoint.make(
+            {"m": 128}, par=8, metapipelining=True, dram_channels=2
+        )
+        assert (
+            evaluate_point(program, bindings, base).cycles
+            == evaluate_point(program, bindings, wide).cycles
+        )
+
     def test_explore_with_event_cycle_model(self):
         result = explore(
             "sumrows",

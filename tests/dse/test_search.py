@@ -102,6 +102,45 @@ class TestSpaceAxes:
         second = axes.mutate(point, np.random.default_rng(5))
         assert first == second
 
+    def test_channel_axis_defaults_to_one(self):
+        axes = SpaceAxes.from_space(synthetic_space())
+        assert axes.channels == (1,)
+
+    def test_anchors_cover_channel_extremes(self):
+        space = default_space({"m": 256}, pars=(4, 8), channels=(1, 2, 4))
+        axes = SpaceAxes.from_space(space)
+        anchor_channels = {point.dram_channels for point in axes.anchors()}
+        assert anchor_channels == {1, 4}
+
+    def test_crossover_inherits_a_parent_channel_count(self):
+        space = default_space({"m": 256}, pars=(4, 8), channels=(1, 2))
+        axes = SpaceAxes.from_space(space)
+        strategy = GeneticStrategy()
+        mother = DesignPoint.make({"m": 128}, par=4, dram_channels=1)
+        father = DesignPoint.make({"m": 128}, par=8, dram_channels=2)
+        rng = np.random.default_rng(7)
+        children = {
+            strategy._crossover(mother, father, axes, rng).dram_channels
+            for _ in range(32)
+        }
+        assert children <= {1, 2}
+        assert len(children) == 2, "both parent channel genes must be reachable"
+
+    def test_search_rng_stream_is_stable_in_single_channel_spaces(self):
+        """The pre-channel-gene trajectory: a space where every point has
+        dram_channels == 1 must draw nothing for the channel gene, keeping
+        seeded searches reproducible across releases."""
+        space = synthetic_space()
+        first = run_search(
+            "genetic", space, synthetic_evaluate, seed=11, max_evaluations=40
+        )
+        second = run_search(
+            "genetic", space, synthetic_evaluate, seed=11, max_evaluations=40
+        )
+        assert [r.point for r in first.evaluated] == [
+            r.point for r in second.evaluated
+        ]
+
 
 class TestParetoUtilities:
     def test_pareto_rank_peels_fronts(self):

@@ -145,3 +145,58 @@ class TestPipelineAxis:
         axes = SpaceAxes.from_space(space)
         point = next(p for p in space if p.tiling)
         assert all(n.pipeline == "default" for n in axes.neighbors(point))
+
+
+class TestChannelAxis:
+    """The DRAM channel count as a design-space gene."""
+
+    def test_default_point_uses_one_channel(self):
+        point = DesignPoint.make({"m": 64}, par=8)
+        assert point.dram_channels == 1
+        assert "/ch" not in point.label
+
+    def test_channel_count_appears_in_label(self):
+        point = DesignPoint.make({"m": 64}, par=8, metapipelining=True, dram_channels=2)
+        assert point.label.endswith("/ch2")
+        baseline = DesignPoint.make(None, par=8, dram_channels=4)
+        assert baseline.label == "baseline/par8/ch4"
+
+    def test_points_differing_only_in_channels_are_distinct(self):
+        a = DesignPoint.make({"m": 64}, par=8)
+        b = DesignPoint.make({"m": 64}, par=8, dram_channels=2)
+        assert a != b
+        assert len(DesignSpace().extend([a, b])) == 2
+
+    def test_channels_do_not_leak_into_the_compile_config(self):
+        # The channel count parameterises the *performance model* a point
+        # is timed under, never the compiled artifact.
+        a = DesignPoint.make({"m": 64}, par=8, dram_channels=1)
+        b = DesignPoint.make({"m": 64}, par=8, dram_channels=4)
+        assert a.config() == b.config()
+
+    def test_default_space_sweeps_channels(self):
+        single = default_space({"m": 1 << 12}, pars=(8, 16))
+        multi = default_space({"m": 1 << 12}, pars=(8, 16), channels=(1, 2))
+        assert len(multi) == 2 * len(single)
+        assert {point.dram_channels for point in multi} == {1, 2}
+        assert {point.dram_channels for point in single} == {1}
+
+    def test_axes_expose_channel_gene(self):
+        from repro.dse.search import SpaceAxes
+
+        space = default_space({"m": 1 << 12}, pars=(8,), channels=(1, 2, 4))
+        axes = SpaceAxes.from_space(space)
+        assert axes.channels == (1, 2, 4)
+        tiled = next(p for p in space if p.tiling and p.dram_channels == 2)
+        neighbors = axes.neighbors(tiled)
+        stepped = {p.dram_channels for p in neighbors if p.dram_channels != 2}
+        assert stepped == {1, 4}, "channel steps must move one rung at a time"
+        assert all(p in space for p in neighbors)
+
+    def test_single_channel_space_has_no_channel_moves(self):
+        from repro.dse.search import SpaceAxes
+
+        space = default_space({"m": 1 << 12}, pars=(8, 16))
+        axes = SpaceAxes.from_space(space)
+        point = next(p for p in space if p.tiling)
+        assert all(n.dram_channels == 1 for n in axes.neighbors(point))

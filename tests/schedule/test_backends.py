@@ -14,8 +14,14 @@ from repro.hw.controllers import (
 from repro.hw.design import HardwareDesign
 from repro.hw.templates import TileLoad, VectorUnit
 from repro.pipeline import Session
-from repro.schedule import DEFAULT_TOLERANCE, compare_backends, get_backend
-from repro.schedule.event import EventScheduleBackend
+from repro.schedule import (
+    DEFAULT_TOLERANCE,
+    UNCALIBRATED_TOLERANCE,
+    calibrate_model,
+    compare_backends,
+    get_backend,
+)
+from repro.schedule.event import EventScheduleBackend, _MemorySubsystem
 from repro.sim.engine import simulate
 from repro.sim.model import PerformanceModel
 from repro.target.device import DEFAULT_BOARD
@@ -69,7 +75,8 @@ class TestBackendSelection:
 class TestBenchmarkParity:
     """The acceptance gate: event runs end-to-end on every registered
     benchmark, agreeing with the analytical backend within the documented
-    tolerance (exactly, for designs with no pipelined overlap to model)."""
+    raw tolerance (exactly, for designs with no pipelined overlap to
+    model); calibrated knobs must reach the tightened bound."""
 
     @pytest.mark.parametrize(
         "bench", all_benchmarks(), ids=lambda bench: bench.name
@@ -82,7 +89,9 @@ class TestBenchmarkParity:
             discrepancy = compare_backends(result.schedule)
             assert discrepancy.event_cycles > 0, (bench.name, label)
             if label == "tiling+metapipelining":
-                assert discrepancy.within(DEFAULT_TOLERANCE), (
+                # Default knobs: the raw bound (the analytical model may
+                # credit overlap the single DRAM channel serializes).
+                assert discrepancy.within(UNCALIBRATED_TOLERANCE), (
                     bench.name,
                     label,
                     discrepancy.ratio,
@@ -94,13 +103,21 @@ class TestBenchmarkParity:
 
     @pytest.mark.parametrize("name", ["outerprod", "tpchq6"])
     def test_calibration_benchmarks_within_documented_tolerance(self, name):
-        """The two benchmarks the Figure 7 calibration anchors on."""
+        """The two benchmarks the Figure 7 calibration anchors on: raw
+        agreement within the uncalibrated bound, fitted knobs within the
+        tightened documented tolerance."""
         bench = next(b for b in all_benchmarks() if b.name == name)
         bindings = bench.bindings(SIZES[name], np.random.default_rng(0))
         config = _configs(bench)["tiling+metapipelining"]
         result = Session().compile(bench.build(), config, bindings)
         discrepancy = compare_backends(result.schedule)
-        assert discrepancy.within(DEFAULT_TOLERANCE), discrepancy.summary()
+        assert discrepancy.within(UNCALIBRATED_TOLERANCE), discrepancy.summary()
+        calibration = calibrate_model([result.schedule])
+        assert calibration.within(DEFAULT_TOLERANCE), calibration.summary()
+        calibrated = compare_backends(
+            result.schedule, analytical_model=calibration.fitted
+        )
+        assert calibrated.within(DEFAULT_TOLERANCE), calibrated.summary()
 
 
 class TestEventSemantics:
@@ -260,6 +277,29 @@ class TestEventAccounting:
         assert capped.stall_cycles == pytest.approx(exact.stall_cycles, rel=0.01)
         assert capped.cycles == pytest.approx(exact.cycles, rel=0.01)
 
+    def test_unrolled_window_excludes_the_cold_first_iteration(self):
+        """Extrapolation from a window including iteration 0 bakes the cold
+        start into every extrapolated iteration; the warm-up is excluded
+        whenever more than one iteration ran explicitly."""
+        from types import SimpleNamespace
+
+        backend = EventScheduleBackend(unroll_limit=4)
+        backend._per_node = {}
+        backend._compute_cycles = 0.0
+        backend._memory_cycles = 0.0
+        backend._buffer_stall_cycles = 0.0
+        backend._channel = _MemorySubsystem(channels=1, interleaving="address")
+        backend.stage_profiles = {}
+        durations = iter([50.0] + [100.0] * 3)  # cold first round, then steady
+
+        def round_fn(t):
+            return t + next(durations)
+
+        finish = backend._unrolled(SimpleNamespace(iterations=100), 0.0, round_fn)
+        # 50 (cold) + 99 × 100 (steady, from the post-warm-up window) — the
+        # old whole-window average (87.5/iter) would land at 8750.
+        assert finish == pytest.approx(50.0 + 99 * 100.0)
+
     def test_makespan_and_counters_share_one_window(self):
         """Makespan tail and counter tail must describe the same steady
         state: for a compute-only metapipeline the extrapolated compute
@@ -274,3 +314,101 @@ class TestEventAccounting:
         exact = EventScheduleBackend(model, unroll_limit=4096).run(meta.schedule())
         assert capped.compute_cycles == pytest.approx(exact.compute_cycles, rel=1e-6)
         assert capped.cycles == pytest.approx(exact.cycles, rel=1e-6)
+
+
+class TestCostGuards:
+    """A degenerate model must fail loudly at the shared leaf-cost layer,
+    not as a ZeroDivisionError from the middle of a DSE sweep."""
+
+    def test_transfer_cycles_rejects_zero_bandwidth(self):
+        from repro.schedule.costs import transfer_cycles
+
+        model = PerformanceModel(tiled_stream_efficiency=0.0)
+        with pytest.raises(SimulationError, match="tiled_stream_efficiency"):
+            transfer_cycles(DEFAULT_BOARD, model, 1 << 16)
+
+    def test_stream_cycles_rejects_zero_bandwidth(self):
+        from repro.schedule.costs import stream_cycles
+        from repro.schedule.ir import StreamNode
+
+        model = PerformanceModel(baseline_stream_efficiency=0.0)
+        stream = StreamNode(name="stream", total_bytes=1 << 20, requests=16.0)
+        with pytest.raises(SimulationError, match="baseline_stream_efficiency"):
+            stream_cycles(DEFAULT_BOARD, model, stream)
+
+    def test_negative_efficiency_rejected_too(self):
+        from repro.schedule.costs import transfer_cycles
+
+        model = PerformanceModel(tiled_stream_efficiency=-0.5)
+        with pytest.raises(SimulationError, match="cannot be priced"):
+            transfer_cycles(DEFAULT_BOARD, model, 1 << 16)
+
+    def test_zero_byte_transfers_stay_free(self):
+        from repro.schedule.costs import transfer_cycles
+
+        # The guard must not fire on the num_bytes == 0 early-out even when
+        # the model is degenerate elsewhere.
+        assert transfer_cycles(DEFAULT_BOARD, PerformanceModel(), 0) == 0.0
+
+
+class TestStallAccounting:
+    """Booked buffer stalls are a critical-path quantity: cascaded waits
+    that echo the same downstream delay up the pipeline deduplicate, so
+    aggregate stalls can never exceed (n_stages − 1) × makespan."""
+
+    def test_cascaded_waits_book_once(self):
+        """Two fast producers behind one slow consumer wait for the *same*
+        backpressure; the booked total must reflect one wave per iteration,
+        not one per waiting stage."""
+        model = PerformanceModel(metapipeline_sync=0)
+        fast_a = VectorUnit(name="fast_a", lanes=1, elements=10, pipeline_depth=0)
+        fast_b = VectorUnit(name="fast_b", lanes=1, elements=10, pipeline_depth=0)
+        slow = VectorUnit(name="slow", lanes=1, elements=100, pipeline_depth=0)
+        meta = _design_with(
+            MetapipelineController(
+                name="meta", stages=[fast_a, fast_b, slow], iterations=50
+            )
+        )
+        result = EventScheduleBackend(model, unroll_limit=1024).run(meta.schedule())
+        # Each steady iteration both producers see the ~90-cycle wave, but
+        # fast_a's wait is fast_b's wait echoed upstream — only the slow
+        # stage's direct backpressure books.  One wave per steady iteration:
+        assert result.stall_cycles == pytest.approx(90.0 * 48, rel=0.05)
+        # The structural bound the dedup guarantees:
+        assert result.stall_cycles <= 2 * result.cycles
+
+    def test_two_stage_metapipelines_book_raw_waits(self):
+        """With a single producer/consumer pair there is nothing to
+        deduplicate (the last stage never waits): booked == raw."""
+        model = PerformanceModel(metapipeline_sync=0)
+        producer = VectorUnit(name="producer", lanes=1, elements=10, pipeline_depth=0)
+        consumer = VectorUnit(name="consumer", lanes=1, elements=100, pipeline_depth=0)
+        meta = _design_with(
+            MetapipelineController(
+                name="meta", stages=[producer, consumer], iterations=50
+            )
+        )
+        result = EventScheduleBackend(model, unroll_limit=1024).run(meta.schedule())
+        assert result.stall_cycles == pytest.approx(90.0 * 48, rel=0.05)
+
+    @pytest.mark.parametrize("name", ["gda", "kmeans", "gemm"])
+    def test_aggregate_stalls_bounded_by_stage_depth(self, name):
+        """The regression the gda benchmark exposed: booked stalls of its
+        tiling+metapipelining design nearly doubled its makespan.  The
+        cascade dedup bounds them by (deepest metapipeline − 1) × makespan."""
+        from repro.schedule.ir import MetapipelineSchedule
+
+        bench = next(b for b in all_benchmarks() if b.name == name)
+        bindings = bench.bindings(SIZES[name], np.random.default_rng(0))
+        config = _configs(bench)["tiling+metapipelining"]
+        schedule = Session().compile(bench.build(), config, bindings).schedule
+        deepest = max(
+            (len(node.stages) for node in schedule.walk()
+             if isinstance(node, MetapipelineSchedule)),
+            default=1,
+        )
+        result = EventScheduleBackend().run(schedule)
+        assert result.stall_cycles <= (deepest - 1) * result.cycles, (
+            f"{name}: stalls {result.stall_cycles:,.0f} exceed "
+            f"({deepest} - 1) × makespan {result.cycles:,.0f}"
+        )

@@ -1,0 +1,130 @@
+"""Knob calibration: the fit tightens the analytical/event agreement.
+
+The contract under test: :func:`repro.schedule.calibrate.calibrate_model`
+runs the event reference once under the *base* model, moves only the
+analytical side, never makes the worst relative error larger, and lands
+every registered benchmark inside the tightened documented tolerance
+(:data:`repro.schedule.compare.DEFAULT_TOLERANCE`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import all_benchmarks
+from repro.config import CompileConfig
+from repro.pipeline import Session
+from repro.schedule import (
+    CALIBRATED_KNOBS,
+    DEFAULT_TOLERANCE,
+    calibrate_benchmark,
+    calibrate_model,
+    compare_backends,
+)
+from repro.schedule.event import EventScheduleBackend
+from repro.sim.model import PerformanceModel
+
+SIZES = {
+    "outerprod": {"m": 2048, "n": 2048},
+    "sumrows": {"m": 4096, "n": 128},
+    "gemm": {"m": 256, "n": 256, "p": 256},
+    "tpchq6": {"n": 262144},
+    "gda": {"n": 4096, "d": 16},
+    "kmeans": {"n": 8192, "k": 16, "d": 16},
+}
+
+
+def _meta_schedule(name: str):
+    bench = next(b for b in all_benchmarks() if b.name == name)
+    bindings = bench.bindings(SIZES[name], np.random.default_rng(0))
+    config = CompileConfig(
+        tiling=True, metapipelining=True, tile_sizes=dict(bench.tile_sizes)
+    )
+    return Session().compile(bench.build(), config, bindings).schedule
+
+
+@pytest.fixture(scope="module")
+def outerprod_schedule():
+    return _meta_schedule("outerprod")
+
+
+class TestCalibrationRoundTrip:
+    @pytest.mark.parametrize(
+        "name", [bench.name for bench in all_benchmarks()]
+    )
+    def test_every_benchmark_fits_within_documented_tolerance(self, name):
+        schedule = _meta_schedule(name)
+        calibration = calibrate_model([schedule])
+        assert calibration.error_after <= calibration.error_before + 1e-12
+        assert calibration.within(DEFAULT_TOLERANCE), calibration.summary()
+        # Round-trip: comparing with the fitted analytical model reproduces
+        # the fitted error on the same schedule.
+        calibrated = compare_backends(
+            schedule, analytical_model=calibration.fitted
+        )
+        assert calibrated.within(DEFAULT_TOLERANCE), calibrated.summary()
+
+    def test_fit_never_regresses_the_error(self, outerprod_schedule):
+        calibration = calibrate_model([outerprod_schedule])
+        assert calibration.error_after <= calibration.error_before
+        # outerprod is contention-bound at a single channel; the default
+        # knobs sit well outside the tightened tolerance, so the fit must
+        # actually move something.
+        assert calibration.knob_deltas
+
+    def test_fit_is_deterministic(self, outerprod_schedule):
+        first = calibrate_model([outerprod_schedule])
+        second = calibrate_model([outerprod_schedule])
+        assert first.fitted == second.fitted
+        assert first.error_after == second.error_after
+        assert first.ratios == second.ratios
+
+    def test_event_reference_is_untouched(self, outerprod_schedule):
+        """The fitted model is for the analytical backend only: the event
+        timeline under the base model is byte-identical before and after."""
+        base = PerformanceModel()
+        reference = EventScheduleBackend(base).run(outerprod_schedule)
+        calibrate_model([outerprod_schedule], base=base)
+        again = EventScheduleBackend(base).run(outerprod_schedule)
+        assert again.cycles == reference.cycles
+        assert again.stall_cycles == reference.stall_cycles
+        assert again.contention_cycles == reference.contention_cycles
+
+    def test_attribution_reports_the_reference_profile(self, outerprod_schedule):
+        calibration = calibrate_model([outerprod_schedule])
+        reference = EventScheduleBackend().run(outerprod_schedule)
+        assert calibration.attribution["event_cycles"] == reference.cycles
+        assert calibration.attribution["stall_cycles"] == reference.stall_cycles
+        assert (
+            calibration.attribution["contention_cycles"]
+            == reference.contention_cycles
+        )
+
+
+class TestCalibrationEdges:
+    def test_empty_schedule_list_is_a_noop(self):
+        calibration = calibrate_model([])
+        assert calibration.error_before == 0.0
+        assert calibration.error_after == 0.0
+        assert calibration.fitted == calibration.base
+        assert not calibration.knob_deltas
+
+    def test_unknown_knob_rejected(self, outerprod_schedule):
+        with pytest.raises(ValueError, match="cannot calibrate"):
+            calibrate_model([outerprod_schedule], knobs=["dram_channels"])
+
+    def test_knob_subset_moves_only_that_knob(self, outerprod_schedule):
+        calibration = calibrate_model(
+            [outerprod_schedule], knobs=["tiled_stream_efficiency"]
+        )
+        assert set(calibration.knob_deltas) <= {"tiled_stream_efficiency"}
+        assert calibration.error_after <= calibration.error_before
+
+    def test_fitted_values_respect_knob_ranges(self, outerprod_schedule):
+        calibration = calibrate_model([outerprod_schedule])
+        for knob, (lo, hi) in CALIBRATED_KNOBS.items():
+            value = getattr(calibration.fitted, knob)
+            assert lo <= value <= hi, (knob, value)
+
+    def test_calibrate_benchmark_wrapper(self):
+        calibration = calibrate_benchmark("outerprod", sizes=SIZES["outerprod"])
+        assert calibration.within(DEFAULT_TOLERANCE), calibration.summary()

@@ -1,0 +1,155 @@
+"""The multi-channel DRAM subsystem: parity, monotonicity, validation.
+
+``dram_channels=1`` (the default) must degenerate to the historical single
+shared channel bit-for-bit under *every* interleaving policy — that is the
+compatibility contract that keeps the golden Figure 7 numbers and the DSE
+journal stable.  With more channels the total waiting on the memory system
+("address" policy, the default) can only shrink: requests that used to
+serialize behind each other now land on independent timelines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import all_benchmarks
+from repro.config import CompileConfig
+from repro.errors import SimulationError
+from repro.pipeline import Session
+from repro.schedule.event import (
+    INTERLEAVING_POLICIES,
+    EventScheduleBackend,
+    _MemorySubsystem,
+)
+from repro.sim.model import PerformanceModel
+
+SIZES = {
+    "outerprod": {"m": 2048, "n": 2048},
+    "sumrows": {"m": 4096, "n": 128},
+    "gemm": {"m": 256, "n": 256, "p": 256},
+    "tpchq6": {"n": 262144},
+    "gda": {"n": 4096, "d": 16},
+    "kmeans": {"n": 8192, "k": 16, "d": 16},
+}
+
+
+@pytest.fixture(scope="module")
+def meta_schedules():
+    """The tiling+metapipelining schedule of every registered benchmark."""
+    session = Session()
+    schedules = {}
+    for bench in all_benchmarks():
+        bindings = bench.bindings(SIZES[bench.name], np.random.default_rng(0))
+        config = CompileConfig(
+            tiling=True, metapipelining=True, tile_sizes=dict(bench.tile_sizes)
+        )
+        schedules[bench.name] = session.compile(
+            bench.build(), config, bindings
+        ).schedule
+    return schedules
+
+
+class TestSingleChannelParity:
+    """channels=1 is bit-for-bit the pre-subsystem behaviour."""
+
+    @pytest.mark.parametrize(
+        "name", [bench.name for bench in all_benchmarks()]
+    )
+    def test_default_model_matches_explicit_single_channel(
+        self, meta_schedules, name
+    ):
+        schedule = meta_schedules[name]
+        default = EventScheduleBackend().run(schedule)
+        explicit = EventScheduleBackend(
+            PerformanceModel(dram_channels=1)
+        ).run(schedule)
+        assert default.cycles == explicit.cycles
+        assert default.stall_cycles == explicit.stall_cycles
+        assert default.contention_cycles == explicit.contention_cycles
+
+    @pytest.mark.parametrize(
+        "name", [bench.name for bench in all_benchmarks()]
+    )
+    def test_interleaving_policy_is_irrelevant_at_one_channel(
+        self, meta_schedules, name
+    ):
+        schedule = meta_schedules[name]
+        results = [
+            EventScheduleBackend(
+                PerformanceModel(dram_channels=1, dram_interleaving=policy)
+            ).run(schedule)
+            for policy in INTERLEAVING_POLICIES
+        ]
+        first = results[0]
+        for other in results[1:]:
+            assert other.cycles == first.cycles
+            assert other.contention_cycles == first.contention_cycles
+
+
+class TestContentionMonotonicity:
+    """Address interleaving: more channels never means more waiting."""
+
+    @pytest.mark.parametrize(
+        "name", [bench.name for bench in all_benchmarks()]
+    )
+    def test_contention_monotone_non_increasing(self, meta_schedules, name):
+        schedule = meta_schedules[name]
+        previous = None
+        for channels in (1, 2, 4, 8):
+            result = EventScheduleBackend(
+                PerformanceModel(dram_channels=channels)
+            ).run(schedule)
+            if previous is not None:
+                assert result.contention_cycles <= previous + 1e-6, (
+                    name,
+                    channels,
+                    result.contention_cycles,
+                    previous,
+                )
+            previous = result.contention_cycles
+
+    def test_outerprod_contends_less_with_two_channels(self, meta_schedules):
+        """outerprod's two input tile loads land on distinct channels under
+        address interleaving, so its DRAM contention (and makespan) must
+        strictly drop — the sweep has to show a real effect somewhere."""
+        schedule = meta_schedules["outerprod"]
+        one = EventScheduleBackend(PerformanceModel(dram_channels=1)).run(schedule)
+        two = EventScheduleBackend(PerformanceModel(dram_channels=2)).run(schedule)
+        assert two.contention_cycles < one.contention_cycles
+        assert two.cycles < one.cycles
+
+
+class TestSubsystemValidation:
+    def test_channel_count_below_one_rejected(self):
+        with pytest.raises(SimulationError, match="dram_channels"):
+            _MemorySubsystem(channels=0)
+
+    def test_unknown_interleaving_policy_rejected(self):
+        with pytest.raises(SimulationError, match="dram_interleaving"):
+            _MemorySubsystem(channels=2, interleaving="striped")
+
+    def test_backend_run_validates_the_model(self, meta_schedules):
+        schedule = meta_schedules["outerprod"]
+        backend = EventScheduleBackend(PerformanceModel(dram_channels=0))
+        with pytest.raises(SimulationError, match="dram_channels"):
+            backend.run(schedule)
+
+    def test_policy_registry_contents(self):
+        assert INTERLEAVING_POLICIES == ("address", "round-robin")
+
+    def test_round_robin_rotates_requests(self):
+        subsystem = _MemorySubsystem(channels=2, interleaving="round-robin")
+        # Same key, back-to-back: rotation puts them on different channels,
+        # so neither waits and both channels end up busy.
+        first = subsystem.transfer("tile", 0.0, 100.0)
+        second = subsystem.transfer("tile", 0.0, 100.0)
+        assert first == second == 100.0
+        assert subsystem.contention_cycles == 0.0
+        assert all(channel.busy_cycles == 100.0 for channel in subsystem.channels)
+
+    def test_address_policy_pins_a_key_to_one_channel(self):
+        subsystem = _MemorySubsystem(channels=4, interleaving="address")
+        subsystem.transfer("tile", 0.0, 100.0)
+        finish = subsystem.transfer("tile", 0.0, 100.0)
+        # The second request for the same source serializes behind the first.
+        assert finish == 200.0
+        assert subsystem.contention_cycles == 100.0

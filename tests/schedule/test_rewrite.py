@@ -29,11 +29,13 @@ from repro.schedule import (
     TransferNode,
 )
 from repro.schedule.rewrite import (
+    BALANCE_FACTOR_CANDIDATES,
     DegenerateGroupFlattening,
     StageRebalancing,
     TransferCoalescing,
     clone_schedule,
     rewrite_schedule,
+    tune_balance_factor,
     verify_rewrite,
 )
 from repro.sim.model import PerformanceModel
@@ -212,6 +214,69 @@ class TestStageRebalancing:
     def test_balance_factor_validation(self):
         with pytest.raises(ValueError, match="balance_factor"):
             StageRebalancing(balance_factor=0.5)
+
+
+class TestProfiledRebalancing:
+    """The event-profiled cost oracle and the per-schedule tuned factor."""
+
+    def _benchmark_schedule(self, name="gda"):
+        bench = next(b for b in all_benchmarks() if b.name == name)
+        bindings = bench.bindings(SIZES[name], np.random.default_rng(0))
+        return Session().compile(bench.build(), _meta_config(bench), bindings).schedule
+
+    def test_invalid_cost_source_rejected(self):
+        with pytest.raises(ValueError, match="cost_source"):
+            StageRebalancing(cost_source="profiler")
+
+    def test_event_cost_source_preserves_legality(self):
+        schedule = self._benchmark_schedule()
+        result = rewrite_schedule(schedule, cost_source="event")
+        before = schedule_traffic(schedule)
+        after = schedule_traffic(result.schedule)
+        assert before.read_bytes == after.read_bytes
+        assert before.write_bytes == after.write_bytes
+        event_before = EventScheduleBackend().run(schedule).cycles
+        event_after = EventScheduleBackend().run(result.schedule).cycles
+        assert event_after <= event_before * (1 + 1e-9)
+
+    def test_measured_costs_split_the_contended_bottleneck(self):
+        """A stage whose transfers contend on DRAM *measures* slower than
+        its closed form; the event oracle sees the measured duration, so
+        rebalancing decisions key off real stalls, not idealised costs."""
+        schedule = self._benchmark_schedule("outerprod")
+        analytical = rewrite_schedule(schedule, cost_source="analytical")
+        profiled = rewrite_schedule(schedule, cost_source="event")
+        event = EventScheduleBackend()
+        assert event.run(profiled.schedule).cycles <= event.run(
+            analytical.schedule
+        ).cycles * (1 + 1e-9)
+
+    def test_tune_balance_factor_returns_a_candidate(self):
+        schedule = self._benchmark_schedule()
+        factor = tune_balance_factor(schedule)
+        assert factor in BALANCE_FACTOR_CANDIDATES
+
+    def test_tune_balance_factor_is_deterministic(self):
+        schedule = self._benchmark_schedule()
+        assert tune_balance_factor(schedule) == tune_balance_factor(schedule)
+
+    def test_auto_balance_factor_never_regresses(self):
+        schedule = self._benchmark_schedule()
+        auto = rewrite_schedule(schedule, balance_factor="auto", cost_source="event")
+        default = rewrite_schedule(schedule)
+        event = EventScheduleBackend()
+        assert event.run(auto.schedule).cycles <= event.run(
+            default.schedule
+        ).cycles * (1 + 1e-9)
+        # And the tuned rewrite is still legal.
+        before = schedule_traffic(schedule)
+        after = schedule_traffic(auto.schedule)
+        assert before.read_bytes == after.read_bytes
+
+    def test_rewrite_profiled_variant_is_registered(self):
+        assert "rewrite-profiled" in pipeline_variants()
+        names = get_pipeline("rewrite-profiled").pass_names
+        assert names.index("rewrite-schedule") == names.index("build-schedule") + 1
 
 
 class TestDegenerateFlattening:
