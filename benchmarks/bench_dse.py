@@ -29,10 +29,21 @@ persists between workflow runs (keyed on the cache version).
 ``--faults`` runs the chaos phase instead: fault-free supervision
 overhead (asserted < 5%), then a seeded crash/hang/error/corrupt
 :class:`~repro.dse.resilience.FaultPlan` plus a corrupted disk store
-through a pooled sweep, asserting bit-identical recovery.  ``--smoke``
-shrinks the workload for CI.
+through a pooled sweep, asserting bit-identical recovery.
 
-Run with ``PYTHONPATH=src python benchmarks/bench_dse.py [--faults [--smoke]]``.
+``--serve`` runs the compile-farm phase instead: a mixed, deliberately
+duplicated request stream over three benchmarks through one
+:class:`~repro.serve.CompileFarm` (sustained points/sec, duplicate
+submissions asserted to cost zero extra evaluations), then the
+warm-vs-cold worker spawn comparison — eager ``load_disk`` warm-up
+against the lazily-mapped snapshot attach, with per-worker warm-up time
+measured inside the spawned processes.
+
+``--smoke`` shrinks the workload for CI (affects ``--faults`` and
+``--serve``).
+
+Run with ``PYTHONPATH=src python benchmarks/bench_dse.py
+[--faults|--serve [--smoke]]``.
 """
 
 from __future__ import annotations
@@ -413,6 +424,205 @@ def run_faults_phase(smoke: bool) -> dict:
     }
 
 
+SERVE_BENCHMARKS = ("gemm", "sumrows", "outerprod")
+SERVE_SIZES = {
+    "gemm": {"m": 256, "n": 256, "p": 256},
+    "sumrows": {"m": 4096, "n": 256},
+    "outerprod": {"m": 512, "n": 512},
+}
+SERVE_SMOKE_SIZES = {
+    "gemm": {"m": 64, "n": 64, "p": 64},
+    "sumrows": {"m": 1024, "n": 64},
+    "outerprod": {"m": 128, "n": 128},
+}
+
+
+def _timed_init(out_dir, *init_args) -> None:
+    """Pool initializer that times the real ``_init_worker`` from inside.
+
+    Each worker writes its own warm-up duration to ``out_dir`` — measuring
+    in the child keeps process-spawn noise out of the warm-up numbers.
+    """
+    from repro.dse.engine import _init_worker
+
+    started = time.perf_counter()
+    _init_worker(*init_args)
+    elapsed = time.perf_counter() - started
+    Path(out_dir, f"worker-{os.getpid()}.seconds").write_text(repr(elapsed))
+
+
+def _measure_spawn(workers: int, store: Path, snap: Path, warmup: str) -> dict:
+    """Spawn a real pool with the given cache warm-up; report both clocks.
+
+    ``pool_ready_seconds`` is wall-clock from ``Pool()`` until every
+    worker has finished initialising; ``worker_warmup_seconds`` is the
+    mean in-child warm-up time alone (the quantity the snapshot path is
+    meant to shrink).
+    """
+    from repro.dse.engine import pool_context
+    from repro.target.device import DEFAULT_BOARD
+
+    sizes = {"gemm": SERVE_SMOKE_SIZES["gemm"]}
+    specs = {name: (dict(dims), 3) for name, dims in sizes.items()}
+    cache_warmup = ("load", str(store)) if warmup == "load" else ("snapshot", str(snap))
+    with tempfile.TemporaryDirectory(prefix="dse-spawn-") as out_dir:
+        started = time.perf_counter()
+        pool = pool_context().Pool(
+            processes=workers,
+            initializer=_timed_init,
+            initargs=(
+                out_dir, specs, DEFAULT_BOARD, None, True, "analytical", None,
+                cache_warmup,
+            ),
+        )
+        try:
+            deadline = started + 60.0
+            while len(list(Path(out_dir).glob("worker-*.seconds"))) < workers:
+                assert time.perf_counter() < deadline, "pool never finished warm-up"
+                time.sleep(0.005)
+            pool_ready = time.perf_counter() - started
+            warmups = [
+                float(stamp.read_text())
+                for stamp in Path(out_dir).glob("worker-*.seconds")
+            ]
+        finally:
+            pool.terminate()
+            pool.join()
+    return {
+        "pool_ready_seconds": round(pool_ready, 4),
+        "worker_warmup_seconds": round(sum(warmups) / len(warmups), 5),
+    }
+
+
+def run_serve_phase(smoke: bool) -> dict:
+    """Compile-farm throughput, dedup accounting, warm-vs-cold spawn time."""
+    import asyncio
+
+    from repro.apps import get_benchmark
+    from repro.dse.cache import AnalysisCache
+    from repro.serve import CompileFarm, write_snapshot
+
+    sizes = SERVE_SMOKE_SIZES if smoke else SERVE_SIZES
+    workers = min(4, os.cpu_count() or 1)
+    per_bench = 24 if smoke else 60
+
+    # A mixed request stream: the benchmarks interleaved round-robin, then
+    # the whole stream again — every request submitted exactly twice.
+    per_lane = {}
+    for name in SERVE_BENCHMARKS:
+        bench = get_benchmark(name)
+        dims = {d: sizes[name][d] for d in bench.tile_sizes}
+        space = default_space(dims, max_tiles_per_dim=2, max_points=per_bench)
+        per_lane[name] = list(space)
+    stream = []
+    for rank in range(max(len(points) for points in per_lane.values())):
+        for name in SERVE_BENCHMARKS:
+            if rank < len(per_lane[name]):
+                stream.append((name, per_lane[name][rank]))
+    requests = stream + stream
+    distinct = len(stream)
+    print(
+        f"[DSE serve] {len(requests)} requests ({distinct} distinct points "
+        f"across {len(SERVE_BENCHMARKS)} benchmarks), {workers} workers"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="dse-serve-") as tmp:
+        store = Path(tmp) / "analysis.pkl"
+
+        ANALYSIS_CACHE.clear()
+
+        async def drive():
+            farm = CompileFarm(
+                SERVE_BENCHMARKS, sizes=sizes, workers=workers,
+                store=store, warmup=None,
+            )
+            async with farm:
+                started = time.perf_counter()
+                batch = await farm.submit(requests)
+                responses = await batch.gather()
+                elapsed = time.perf_counter() - started
+                return responses, elapsed, farm.stats
+
+        responses, t_batch, stats = asyncio.run(drive())
+
+        failures = [r for r in responses if not r.ok]
+        assert not failures, f"farm requests failed: {failures[:3]}"
+        # The load-bearing dedup accounting: the duplicated half of the
+        # stream must cost zero extra evaluations.
+        assert stats.scheduled == distinct, stats.as_dict()
+        assert stats.supervision.evaluations == distinct, stats.as_dict()
+        assert stats.coalesced + stats.cache_hits == len(requests) - distinct
+        for index in range(distinct):
+            first = responses[index].result
+            twin = responses[distinct + index].result
+            assert (
+                first.cycles == twin.cycles
+                and first.logic == twin.logic
+                and first.bram_bits == twin.bram_bits
+            ), f"duplicate diverged for {responses[index].point.label}"
+        points_per_second = len(responses) / t_batch
+        print(
+            f"[DSE serve] batch {t_batch:.2f}s | sustained "
+            f"{points_per_second:.0f} responses/s ({distinct / t_batch:.0f} "
+            f"evaluated/s) | dedup: {stats.coalesced} coalesced, "
+            f"{stats.cache_hits} cached, 0 extra evaluations"
+        )
+
+        # Grow the store to a realistic long-run size (tiling + analysis +
+        # point-result tables), then compare the two worker warm-up paths.
+        enrich = default_space(
+            {d: sizes["gemm"][d] for d in ("m", "n", "p")},
+            max_tiles_per_dim=3 if smoke else 4,
+        )
+        explore("gemm", sizes=sizes["gemm"], space=enrich, disk_cache=store)
+        snap = store.with_name(store.name + ".snap")
+        write_snapshot(snap)
+        store_kib = store.stat().st_size / 1024
+        snap_kib = snap.stat().st_size / 1024
+
+        # Workers must start cold for the comparison to mean anything —
+        # forked children otherwise inherit this warm cache copy-on-write.
+        ANALYSIS_CACHE.clear()
+        spawn_workers = max(2, workers)
+        spawn_cold = _measure_spawn(spawn_workers, store, snap, warmup="load")
+        spawn_warm = _measure_spawn(spawn_workers, store, snap, warmup="snapshot")
+
+    warmup_cold = spawn_cold["worker_warmup_seconds"]
+    warmup_warm = spawn_warm["worker_warmup_seconds"]
+    speedup = warmup_cold / warmup_warm if warmup_warm > 0 else float("inf")
+    print(
+        f"[DSE serve] spawn over a {store_kib:.0f} KiB store: eager load "
+        f"{warmup_cold * 1e3:.2f} ms/worker (pool ready "
+        f"{spawn_cold['pool_ready_seconds']:.2f}s) | snapshot attach "
+        f"{warmup_warm * 1e3:.2f} ms/worker (pool ready "
+        f"{spawn_warm['pool_ready_seconds']:.2f}s) | {speedup:.0f}x"
+    )
+    assert warmup_warm < warmup_cold, (
+        f"lazy snapshot attach ({warmup_warm * 1e3:.2f} ms) did not beat the "
+        f"eager store load ({warmup_cold * 1e3:.2f} ms) at worker spawn"
+    )
+
+    return {
+        "smoke": smoke,
+        "benchmarks": list(SERVE_BENCHMARKS),
+        "workers": workers,
+        "requests": len(requests),
+        "distinct_points": distinct,
+        "seconds_batch": round(t_batch, 4),
+        "points_per_second": round(points_per_second, 1),
+        "evaluated_per_second": round(distinct / t_batch, 1),
+        "duplicate_extra_evaluations": 0,
+        "stats": stats.as_dict(),
+        "spawn": {
+            "store_kib": round(store_kib, 1),
+            "snapshot_kib": round(snap_kib, 1),
+            "cold_load": spawn_cold,
+            "warm_snapshot": spawn_warm,
+            "warmup_speedup": round(speedup, 1),
+        },
+    }
+
+
 def refresh_ci_store(space) -> None:
     """Keep the repo-level store CI persists between runs up to date."""
     existed = CI_STORE.exists()
@@ -450,13 +660,20 @@ def main(argv=None) -> int:
         help="run the chaos phase: supervision overhead + seeded fault recovery",
     )
     parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the compile-farm phase: sustained points/sec + spawn warm-up",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
-        help="shrink the workload sizes (CI smoke; only affects --faults)",
+        help="shrink the workload sizes (CI smoke; affects --faults and --serve)",
     )
     args = parser.parse_args(argv)
 
-    if args.faults:
+    if args.serve:
+        record = {"serve": run_serve_phase(args.smoke)}
+    elif args.faults:
         record = {"benchmark": BENCHMARK, "faults": run_faults_phase(args.smoke)}
     else:
         record = run()

@@ -110,6 +110,40 @@ _CHECKSUM_BYTES = 16
 DEFAULT_TABLE_MAXSIZE = 65_536
 
 
+@contextmanager
+def _store_write_lock(path: Path) -> Iterator[None]:
+    """Serialise read-merge-write store saves across processes.
+
+    Advisory ``fcntl`` lock on a ``.lock`` sidecar next to the store.
+    Without it, two processes saving at the same instant can both read the
+    same prior store and the later ``os.replace`` silently drops the
+    earlier writer's new entries — exactly the lost-update race the
+    merge-on-save semantics promise against.  On platforms without
+    ``fcntl`` the lock degrades to a no-op: saves stay atomic, merely
+    unserialised.
+    """
+    try:
+        import fcntl
+    except ImportError:
+        yield
+        return
+    lock_path = path.with_name(path.name + ".lock")
+    try:
+        lock_path.parent.mkdir(parents=True, exist_ok=True)
+        handle = open(lock_path, "w")
+    except OSError:
+        yield
+        return
+    try:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        yield
+    finally:
+        try:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+        finally:
+            handle.close()
+
+
 class AnalysisCache:
     """A set of named LRU memo tables with hit/miss/eviction accounting.
 
@@ -127,6 +161,7 @@ class AnalysisCache:
         self.enabled: bool = True
         self.maxsize: Optional[int] = maxsize
         self._tables: Dict[str, "OrderedDict[Hashable, object]"] = {}
+        self._lazy: Dict[str, Callable[[], list]] = {}
         self.hits: Counter = Counter()
         self.misses: Counter = Counter()
         self.evictions: Counter = Counter()
@@ -140,9 +175,54 @@ class AnalysisCache:
 
     # -- core API ------------------------------------------------------------
     def table(self, name: str) -> "OrderedDict[Hashable, object]":
+        if name in self._lazy:
+            self._materialize(name)
         if name not in self._tables:
             self._tables[name] = OrderedDict()
         return self._tables[name]
+
+    def attach_lazy(self, name: str, loader: Callable[[], list]) -> None:
+        """Register a deferred entry source for one table.
+
+        ``loader`` returns ``[(key, value), ...]`` and runs at most once, on
+        the table's first access — the shared-snapshot read path
+        (:mod:`repro.serve.snapshot`): a pool worker attaches every table of
+        a memory-mapped store in microseconds and only ever unpickles the
+        tables its tasks actually touch, instead of paying a full
+        ``load_disk`` on spawn.  Loaded entries are merged *older* than
+        anything already live (live values win on key collisions) and are
+        treated as already persisted: attaching does not mark the cache
+        dirty, and a loader that raises degrades to a cold table with a
+        ``RuntimeWarning`` rather than failing the lookup.
+        """
+        self._lazy[name] = loader
+
+    def _materialize(self, name: str) -> None:
+        loader = self._lazy.pop(name, None)
+        if loader is None:
+            return
+        try:
+            entries = loader()
+        except Exception as exc:
+            warnings.warn(
+                f"lazy cache source for table {name!r} failed "
+                f"({type(exc).__name__}: {exc}); starting the table cold",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return
+        live = self._tables.get(name)
+        merged: "OrderedDict[Hashable, object]" = OrderedDict()
+        for key, value in entries:
+            if live is None or key not in live:
+                merged[key] = value
+        if live:
+            merged.update(live)
+        if self.maxsize is not None:
+            while len(merged) > self.maxsize:
+                merged.popitem(last=False)
+                self.evictions[name] += 1
+        self._tables[name] = merged
 
     def _insert(self, name: str, key: Hashable, value: object) -> None:
         table = self.table(name)
@@ -173,6 +253,8 @@ class AnalysisCache:
         """Look up an entry (refreshing its recency) without computing."""
         if not self.enabled:
             return default
+        if name in self._lazy:
+            self._materialize(name)
         table = self._tables.get(name)
         if table is None:
             return default
@@ -199,10 +281,12 @@ class AnalysisCache:
         A partial clear marks the cache dirty for the same reason.
         """
         if name is not None:
+            self._lazy.pop(name, None)
             if self._tables.pop(name, None) is not None:
                 self._dirty = True
             return
         self._tables.clear()
+        self._lazy.clear()
         self.hits.clear()
         self.misses.clear()
         self.evictions.clear()
@@ -301,8 +385,12 @@ class AnalysisCache:
         Saving **merges**: entries already on disk that this process never
         loaded are carried over (ordered as older than the live entries)
         instead of being clobbered — so concurrent sweeps writing the same
-        store lose nothing to last-writer-wins races.  A corrupt existing
-        store is simply overwritten: that *is* the rebuild.
+        store lose nothing to last-writer-wins races.  The read-merge-write
+        is serialised across processes by an advisory lock on a ``.lock``
+        sidecar, so two savers finishing at the same instant cannot both
+        read the same prior store and have the later one silently drop the
+        earlier one's entries.  A corrupt existing store is simply
+        overwritten: that *is* the rebuild.
         """
         resolved = str(Path(path).resolve())
         if only_if_dirty and not self._dirty and resolved == self._clean_path:
@@ -311,9 +399,13 @@ class AnalysisCache:
             name: list(table.items()) for name, table in self._tables.items() if table
         }
         existing = Path(path)
-        if existing.exists():
+        with _store_write_lock(existing):
+            return self._save_locked(existing, tables, resolved)
+
+    def _save_locked(self, path: Path, tables: Dict[str, list], resolved: str) -> bool:
+        if path.exists():
             try:
-                on_disk = self._read_store(existing)
+                on_disk = self._read_store(path)
             except (CacheIntegrityError, OSError):
                 on_disk = None
             if on_disk is not None and on_disk.get("version") == CACHE_VERSION:
@@ -354,7 +446,6 @@ class AnalysisCache:
             + hashlib.blake2b(blob, digest_size=_CHECKSUM_BYTES).digest()
             + blob
         )
-        path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), prefix=path.name, suffix=".tmp")
         try:

@@ -51,6 +51,7 @@ from repro.dse.resilience import (
     corrupt_result,
 )
 from repro.dse.results import PointResult
+from repro.errors import FarmError
 from repro.dse.space import (
     DesignPoint,
     DesignSpace,
@@ -490,6 +491,7 @@ def _init_worker(
     memoize: bool = True,
     cycle_model: str = "analytical",
     fault_plan=None,
+    cache_warmup: Optional[Tuple[str, object]] = None,
 ) -> None:
     """Initialise one pool worker for a set of benchmarks.
 
@@ -499,6 +501,14 @@ def _init_worker(
     installs a deterministic fault-injection schedule
     (:class:`repro.dse.resilience.FaultPlan`) consulted at every task entry
     — the chaos-testing hook; None in production.
+
+    ``cache_warmup`` pre-warms the worker's analysis cache from a persisted
+    store: ``("load", path)`` pays a full eager ``load_disk`` (every table
+    unpickled at spawn), ``("snapshot", path)`` attaches a memory-mapped
+    snapshot (:mod:`repro.serve.snapshot`) whose tables load lazily on
+    first touch — the compile farm's fast spawn path.  ``None`` (the
+    default) keeps the historical behaviour: forked workers inherit the
+    parent's warm cache copy-on-write and spawn-context workers start cold.
     """
     _WORKER_STATE["specs"] = dict(specs)
     _WORKER_STATE["board"] = board
@@ -514,16 +524,32 @@ def _init_worker(
     if not memoize:
         ANALYSIS_CACHE.clear()
         ANALYSIS_CACHE.enabled = False
+    elif cache_warmup is not None:
+        mode, path = cache_warmup
+        if mode == "load":
+            ANALYSIS_CACHE.load_disk(path)
+        elif mode == "snapshot":
+            from repro.serve.snapshot import attach_snapshot
+
+            attach_snapshot(ANALYSIS_CACHE, path)
+        else:
+            raise ValueError(f"unknown cache warmup mode {mode!r}")
 
 
 def _evaluate_point_task(task: Tuple) -> PointResult:
-    """Evaluate one ``(benchmark, point[, attempt])`` task in a pool worker.
+    """Evaluate one ``(benchmark, point[, attempt[, cycle_model]])`` task.
 
     The supervised evaluator ships 3-tuples carrying the attempt number, so
     an installed fault plan fires identically no matter which worker runs
-    the task; the legacy fast path still sends 2-tuples (attempt 1).
+    the task; the legacy fast path still sends 2-tuples (attempt 1).  The
+    compile farm ships 4-tuples that additionally override the worker's
+    default cycle backend per task — one farm pool serves analytical and
+    event requests side by side.
     """
-    if len(task) == 3:
+    cycle_model = None
+    if len(task) == 4:
+        bench_name, point, attempt, cycle_model = task
+    elif len(task) == 3:
         bench_name, point, attempt = task
     else:
         bench_name, point = task
@@ -548,7 +574,7 @@ def _evaluate_point_task(task: Tuple) -> PointResult:
         board=_WORKER_STATE["board"],
         model=_WORKER_STATE["model"],
         session=_WORKER_STATE["session"],
-        cycle_model=_WORKER_STATE.get("cycle_model", "analytical"),
+        cycle_model=cycle_model or _WORKER_STATE.get("cycle_model", "analytical"),
     )
     if marker == "corrupt":
         result = corrupt_result(result)
@@ -996,6 +1022,7 @@ class MultiBenchmarkExplorer:
         cycle_model: str = "analytical",
         pipelines: Optional[Sequence[str]] = None,
         resilience: Optional[ResiliencePolicy] = None,
+        farm: Optional[object] = None,
     ) -> None:
         self.benchmarks = [
             get_benchmark(bench) if isinstance(bench, str) else bench for bench in benchmarks
@@ -1015,6 +1042,12 @@ class MultiBenchmarkExplorer:
         self.cycle_model = cycle_model
         self.pipelines = tuple(pipelines) if pipelines else ("default",)
         self.resilience = resilience
+        # When set, evaluation routes through a compile-farm client
+        # (repro.serve.SyncClient or anything sharing its evaluate()
+        # surface) instead of a locally owned pool.  The farm brings its
+        # own supervision; ``workers`` and ``resilience.pool`` settings on
+        # this explorer only affect the farm-less fallback paths.
+        self.farm = farm
 
     def _build_lanes(self) -> List[_Lane]:
         from repro.analysis.estimate import input_shapes
@@ -1234,8 +1267,24 @@ class MultiBenchmarkExplorer:
                 evaluator.close()
                 supervision.update(evaluator.stats.as_dict())
 
+        def run_farm() -> None:
+            client = self.farm
+            self._validate_farm(client, lanes)
+
+            def farm_evaluate(tasks):
+                results = client.evaluate(tasks, cycle_model=self.cycle_model)
+                seed_results(tasks, results)
+                return results
+
+            self._drive(lanes, with_replay(farm_evaluate), started)
+            farm_stats = getattr(client, "stats", None)
+            if farm_stats is not None:
+                supervision.update(farm_stats.as_dict())
+
         try:
-            if policy is not None:
+            if self.farm is not None:
+                run_farm()
+            elif policy is not None:
                 run_supervised()
             elif workers > 1:
                 run_legacy_pool()
@@ -1272,6 +1321,47 @@ class MultiBenchmarkExplorer:
                 supervision=dict(supervision),
             )
         return results
+
+    def _validate_farm(self, client, lanes: List[_Lane]) -> None:
+        """Reject farm/explorer mismatches before any evaluation runs.
+
+        A farm builds benchmark programs and bindings once at start-up; an
+        explorer pointed at it must agree on benchmark set, problem sizes,
+        input seed and board, or the farm would silently evaluate different
+        workloads than a serial :func:`explore` of this explorer's
+        configuration.  Attributes the client does not expose are skipped —
+        a minimal duck-typed client only needs ``evaluate``.
+        """
+        names = getattr(client, "benchmark_names", None)
+        if names is not None:
+            known = set(names() if callable(names) else names)
+            for lane in lanes:
+                if lane.benchmark.name not in known:
+                    raise FarmError(
+                        f"benchmark {lane.benchmark.name!r} is not served by the "
+                        f"farm (serves: {sorted(known)})"
+                    )
+        lane_sizes = getattr(client, "lane_sizes", None)
+        if lane_sizes is not None:
+            for lane in lanes:
+                farm_sizes = lane_sizes(lane.benchmark.name)
+                if farm_sizes is not None and dict(farm_sizes) != dict(lane.sizes):
+                    raise FarmError(
+                        f"benchmark {lane.benchmark.name!r} sizes differ: explorer "
+                        f"uses {dict(lane.sizes)}, farm serves {dict(farm_sizes)}"
+                    )
+        board_name = getattr(client, "board_name", None)
+        if board_name is not None and board_name != self.board.name:
+            raise FarmError(
+                f"board mismatch: explorer targets {self.board.name!r}, "
+                f"farm serves {board_name!r}"
+            )
+        farm_seed = getattr(client, "seed", None)
+        if farm_seed is not None and farm_seed != self.seed:
+            raise FarmError(
+                f"input seed mismatch: explorer uses {self.seed}, farm uses "
+                f"{farm_seed} — bindings (and thus results) would differ"
+            )
 
     def _serial_evaluate(self, lanes: List[_Lane]):
         by_name = {lane.benchmark.name: lane for lane in lanes}

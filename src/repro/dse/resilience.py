@@ -70,6 +70,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "CheckpointJournal",
+    "PoolSupervisor",
     "ResiliencePolicy",
     "SupervisedEvaluator",
     "SupervisionStats",
@@ -271,6 +272,12 @@ class ResiliencePolicy:
             next run, so a killed sweep resumes without re-evaluating.
         fault_plan: deterministic fault-injection schedule (tests and the
             ``--faults`` benchmark; None in production).
+        max_inflight: backpressure bound for the compile farm
+            (:mod:`repro.serve`): how many evaluations may be scheduled but
+            unfinished at once before admission awaits a free slot.  ``None``
+            lets the farm pick ``max(4, 2 × workers)``.  Batch evaluators
+            (the engine's search loop) ignore it — their batches are already
+            bounded by the strategy.
         seed: seed of the jitter generator.
     """
 
@@ -282,6 +289,7 @@ class ResiliencePolicy:
     max_pool_respawns: int = 3
     checkpoint: Optional[Union[str, Path]] = None
     fault_plan: Optional[FaultPlan] = None
+    max_inflight: Optional[int] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -289,6 +297,10 @@ class ResiliencePolicy:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError(f"timeout must be positive or None, got {self.timeout}")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1 or None, got {self.max_inflight}"
+            )
 
     def backoff_seconds(self, attempt: int, rng: np.random.Generator) -> float:
         """Backoff before retry number ``attempt`` (1-based), with jitter."""
@@ -300,7 +312,12 @@ class ResiliencePolicy:
 
 @dataclass
 class SupervisionStats:
-    """What the supervisor did during one run (reported per exploration)."""
+    """What the supervisor did during one run (reported per exploration).
+
+    ``cancelled`` only moves under the compile farm (:mod:`repro.serve`),
+    where in-flight work can be revoked; batch evaluation has no
+    cancellation path.
+    """
 
     evaluations: int = 0
     retries: int = 0
@@ -310,6 +327,7 @@ class SupervisionStats:
     pool_respawns: int = 0
     serial_fallback: int = 0
     resumed: int = 0
+    cancelled: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -321,7 +339,98 @@ class SupervisionStats:
             "pool_respawns": self.pool_respawns,
             "serial_fallback": self.serial_fallback,
             "resumed": self.resumed,
+            "cancelled": self.cancelled,
         }
+
+
+# ---------------------------------------------------------------------------
+# Pool lifecycle supervision (shared by the evaluator and the compile farm)
+# ---------------------------------------------------------------------------
+
+
+class PoolSupervisor:
+    """Owns one worker pool's spawn / respawn / teardown lifecycle.
+
+    Extracted from :class:`SupervisedEvaluator` so the compile farm
+    (:mod:`repro.serve.farm`) reuses the same policy-bounded recovery
+    behaviour instead of growing a second, subtly different pool manager:
+    :meth:`acquire` lazily spawns the pool (respecting the respawn budget),
+    :meth:`respawn` tears it down after a timeout so the next acquire gets a
+    clean one, and once the pool is declared *unrecoverable* — spawn failure
+    or respawn budget exhausted — :meth:`acquire` returns ``None`` forever
+    and the owner degrades to in-process serial evaluation.
+
+    Counters land in the shared :class:`SupervisionStats` so a farm and an
+    exploration report respawns/fallbacks identically.
+    """
+
+    def __init__(
+        self,
+        policy: ResiliencePolicy,
+        pool_factory: Optional[Callable[[], object]],
+        stats: Optional[SupervisionStats] = None,
+    ) -> None:
+        self.policy = policy
+        self.stats = stats if stats is not None else SupervisionStats()
+        self._factory = pool_factory
+        self._pool = None
+        self._respawns = 0
+        self.unrecoverable = False
+
+    @property
+    def enabled(self) -> bool:
+        """Whether pooled evaluation is configured at all."""
+        return self._factory is not None
+
+    def acquire(self):
+        """The live pool, spawning one if needed; None when serial-only."""
+        if self.unrecoverable or self._factory is None:
+            return None
+        if self._pool is not None:
+            return self._pool
+        if self._respawns > self.policy.max_pool_respawns:
+            self._give_up(
+                f"respawned {self._respawns - 1} times, max "
+                f"{self.policy.max_pool_respawns}"
+            )
+            return None
+        try:
+            self._pool = self._factory()
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            self._give_up(f"pool spawn failed: {type(exc).__name__}: {exc}")
+            return None
+        return self._pool
+
+    def respawn(self) -> None:
+        """Tear the pool down (hung/crashed worker); next acquire respawns."""
+        self.teardown()
+        self._respawns += 1
+        self.stats.pool_respawns += 1
+
+    def teardown(self) -> None:
+        if self._pool is not None:
+            try:
+                self._pool.terminate()
+                self._pool.join()
+            except Exception:
+                pass
+            self._pool = None
+
+    close = teardown
+
+    def _give_up(self, why: str) -> None:
+        if not self.unrecoverable:
+            self.unrecoverable = True
+            self.stats.serial_fallback = 1
+            warnings.warn(
+                f"worker pool unrecoverable ({why}); "
+                "falling back to in-process serial evaluation",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+        self.teardown()
 
 
 # ---------------------------------------------------------------------------
@@ -434,72 +543,23 @@ class SupervisedEvaluator:
         self.policy = policy
         self.workers = max(1, workers)
         self._serial_compute = serial_compute
-        self._pool_factory = pool_factory
         self._pooled_task = pooled_task
-        self._pool = None
-        self._pool_unrecoverable = False
-        self._respawns = 0
         self._rng = np.random.default_rng(policy.seed)
         self.stats = SupervisionStats()
+        self.pools = PoolSupervisor(policy, pool_factory, self.stats)
         #: Points that failed deterministically: never re-evaluated, their
         #: failure record is replayed on any later proposal.
         self.quarantine: Dict[Task, PointResult] = {}
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
-        self._teardown_pool()
+        self.pools.teardown()
 
     def __enter__(self) -> "SupervisedEvaluator":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
-
-    def _teardown_pool(self) -> None:
-        if self._pool is not None:
-            try:
-                self._pool.terminate()
-                self._pool.join()
-            except Exception:
-                pass
-            self._pool = None
-
-    def _fall_back_to_serial(self, why: str) -> None:
-        if not self._pool_unrecoverable:
-            self._pool_unrecoverable = True
-            self.stats.serial_fallback = 1
-            warnings.warn(
-                f"worker pool unrecoverable ({why}); "
-                "falling back to in-process serial evaluation",
-                RuntimeWarning,
-                stacklevel=4,
-            )
-        self._teardown_pool()
-
-    def _ensure_pool(self):
-        if self._pool_unrecoverable or self._pool_factory is None:
-            return None
-        if self._pool is not None:
-            return self._pool
-        if self._respawns > self.policy.max_pool_respawns:
-            self._fall_back_to_serial(
-                f"respawned {self._respawns - 1} times, max "
-                f"{self.policy.max_pool_respawns}"
-            )
-            return None
-        try:
-            self._pool = self._pool_factory()
-        except (KeyboardInterrupt, SystemExit):
-            raise
-        except Exception as exc:
-            self._fall_back_to_serial(f"pool spawn failed: {type(exc).__name__}: {exc}")
-            return None
-        return self._pool
-
-    def _respawn_pool(self) -> None:
-        self._teardown_pool()
-        self._respawns += 1
-        self.stats.pool_respawns += 1
 
     # -- shared helpers ----------------------------------------------------
     def _quarantined(self, task: Task, reason: str, attempts: int) -> PointResult:
@@ -532,8 +592,8 @@ class SupervisedEvaluator:
             else:
                 todo.append(i)
         if todo:
-            pooled = self.workers > 1 and self._pool_factory is not None
-            if pooled and not self._pool_unrecoverable:
+            pooled = self.workers > 1 and self.pools.enabled
+            if pooled and not self.pools.unrecoverable:
                 self._evaluate_pooled(tasks, todo, out)
             else:
                 for i in todo:
@@ -595,7 +655,7 @@ class SupervisedEvaluator:
         attempts: Dict[int, int] = {i: 0 for i in todo}
         pending: List[int] = list(todo)
         while pending:
-            pool = self._ensure_pool()
+            pool = self.pools.acquire()
             if pool is None:
                 for i in pending:
                     # The serial path re-supervises from attempt 1: fault
@@ -642,8 +702,8 @@ class SupervisedEvaluator:
             if hit_timeout:
                 # A timed-out task may still occupy (or have killed) its
                 # worker; terminate and respawn so retries run on a clean
-                # pool.  Bounded by max_pool_respawns via _ensure_pool.
-                self._respawn_pool()
+                # pool.  Bounded by max_pool_respawns via PoolSupervisor.
+                self.pools.respawn()
             pending = []
             for i, why in failures.items():
                 if attempts[i] > self.policy.retries:

@@ -73,3 +73,12 @@ class CorruptResultError(ResilienceError):
 
 class CacheIntegrityError(ResilienceError):
     """Raised when a persisted analysis-cache store fails checksum validation."""
+
+
+class FarmError(ReproError):
+    """Raised for compile-farm misuse: unknown benchmarks, unstarted farms,
+    incompatible farm/explorer configurations."""
+
+
+class ProtocolError(FarmError):
+    """Raised when a farm wire message fails framing or checksum validation."""

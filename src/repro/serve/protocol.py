@@ -1,0 +1,197 @@
+"""Request/response records and wire framing for the compile farm.
+
+A :class:`CompileRequest` names one evaluation — benchmark, design point,
+pipeline and cycle backend — plus an optional caller-chosen ``request_id``.
+The farm answers each with a :class:`CompileResponse` carrying the same id,
+a status explaining *how* the answer was produced (fresh evaluation, cache
+hit, coalesced onto in-flight work, journal replay, failure, cancellation)
+and the :class:`~repro.dse.results.PointResult` itself.
+
+Responses stream back in completion order; :func:`gather` restores
+submission order from the ids, which is what makes farm output
+deterministic and bit-comparable to a serial sweep.
+
+The framing half (:func:`encode_frame` / :func:`decode_frame`) is the wire
+format of :mod:`repro.serve.net`: magic, length prefix, blake2b checksum,
+pickled payload. Pickle means frames must only ever cross trusted links —
+the transport is for lab-internal farms, not the open internet.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import struct
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.dse.results import PointResult
+from repro.dse.space import DesignPoint
+from repro.errors import ProtocolError
+
+__all__ = [
+    "STATUSES",
+    "CompileRequest",
+    "CompileResponse",
+    "gather",
+    "encode_frame",
+    "decode_frame",
+    "FRAME_MAGIC",
+]
+
+#: Every way a response can come to exist.
+#:
+#: * ``evaluated`` — freshly computed on the worker pool (or its serial
+#:   fallback) for this very request.
+#: * ``cached`` — served from the shared analysis cache; no work scheduled.
+#: * ``coalesced`` — an identical point was already in flight when this
+#:   request arrived; it shares that evaluation's result.
+#: * ``journal`` — replayed from a checkpoint journal written by an earlier
+#:   (possibly interrupted) run.
+#: * ``failed`` — every attempt failed; ``result`` is the quarantine record
+#:   (``failed=True``) and ``error`` holds the last reason.
+#: * ``cancelled`` — the farm shut down (or the batch was cancelled) before
+#:   the evaluation finished.
+STATUSES = (
+    "evaluated",
+    "cached",
+    "coalesced",
+    "journal",
+    "failed",
+    "cancelled",
+)
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """One evaluation the farm is asked to perform.
+
+    ``pipeline`` of None defers to the design point's own pipeline gene;
+    a string overrides it (the point is rewritten at admission, so dedup
+    and result keys see the pipeline that actually compiles).  The same
+    holds for ``cycle_model`` against the farm's default backend.
+    ``request_id`` is any caller-stable string; left empty, the farm
+    assigns ``r<submission index>`` ids that are unique per farm lifetime.
+    """
+
+    benchmark: str
+    point: DesignPoint
+    pipeline: Optional[str] = None
+    cycle_model: Optional[str] = None
+    request_id: str = ""
+
+    def resolved(self, default_cycle_model: str) -> "CompileRequest":
+        """Fold the pipeline override into the point and pin the backend."""
+        point = self.point
+        if self.pipeline is not None and self.pipeline != point.pipeline:
+            point = replace(point, pipeline=self.pipeline)
+        cycle_model = self.cycle_model or default_cycle_model
+        return CompileRequest(
+            benchmark=self.benchmark,
+            point=point,
+            pipeline=None,
+            cycle_model=cycle_model,
+            request_id=self.request_id,
+        )
+
+
+@dataclass
+class CompileResponse:
+    """The farm's answer to one request (same ``request_id``)."""
+
+    request_id: str
+    benchmark: str
+    point: DesignPoint
+    status: str
+    result: Optional[PointResult] = None
+    error: Optional[str] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when ``result`` holds a successful evaluation."""
+        return self.result is not None and not getattr(self.result, "failed", False)
+
+
+def gather(
+    responses: Iterable[CompileResponse],
+    order: Sequence[str],
+) -> List[CompileResponse]:
+    """Reorder completion-ordered responses into submission order.
+
+    ``order`` is the sequence of request ids as submitted.  Raises
+    :class:`~repro.errors.ProtocolError` when responses are missing,
+    unexpected, or duplicated — any of which would silently misalign a
+    caller zipping results against its submission list.
+    """
+    by_id: Dict[str, CompileResponse] = {}
+    for response in responses:
+        if response.request_id in by_id:
+            raise ProtocolError(f"duplicate response for request {response.request_id!r}")
+        by_id[response.request_id] = response
+    missing = [rid for rid in order if rid not in by_id]
+    if missing:
+        raise ProtocolError(f"missing responses for request(s) {missing!r}")
+    if len(by_id) != len(order):
+        extra = sorted(set(by_id) - set(order))
+        raise ProtocolError(f"unexpected response(s) {extra!r}")
+    return [by_id[rid] for rid in order]
+
+
+# ---------------------------------------------------------------------------
+# Wire framing (used by repro.serve.net)
+# ---------------------------------------------------------------------------
+
+FRAME_MAGIC = b"RFRM"
+_CHECKSUM_BYTES = 16
+_FRAME_HEADER = struct.Struct(">4sI16s")
+#: Upper bound on one frame's payload; anything larger is a framing error
+#: (a desynchronised or hostile peer), not a legitimate batch.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+def encode_frame(payload: object) -> bytes:
+    """Pickle ``payload`` into one checksummed frame."""
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame payload too large ({len(body)} bytes)")
+    checksum = hashlib.blake2b(body, digest_size=_CHECKSUM_BYTES).digest()
+    return _FRAME_HEADER.pack(FRAME_MAGIC, len(body), checksum) + body
+
+
+def decode_frame(blob: bytes) -> object:
+    """Decode one frame produced by :func:`encode_frame`.
+
+    Raises :class:`~repro.errors.ProtocolError` for bad magic, length or
+    checksum — the caller decides whether to drop the connection.
+    """
+    if len(blob) < _FRAME_HEADER.size:
+        raise ProtocolError(f"truncated frame header ({len(blob)} bytes)")
+    magic, length, checksum = _FRAME_HEADER.unpack(blob[: _FRAME_HEADER.size])
+    if magic != FRAME_MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    body = blob[_FRAME_HEADER.size :]
+    if len(body) != length:
+        raise ProtocolError(f"frame length mismatch ({len(body)} != {length})")
+    if hashlib.blake2b(body, digest_size=_CHECKSUM_BYTES).digest() != checksum:
+        raise ProtocolError("frame checksum mismatch")
+    try:
+        return pickle.loads(body)
+    except Exception as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+
+
+def frame_header_size() -> int:
+    return _FRAME_HEADER.size
+
+
+def parse_frame_header(header: bytes) -> int:
+    """Validate a frame header and return the payload length to read."""
+    if len(header) < _FRAME_HEADER.size:
+        raise ProtocolError(f"truncated frame header ({len(header)} bytes)")
+    magic, length, _ = _FRAME_HEADER.unpack(header)
+    if magic != FRAME_MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame payload too large ({length} bytes)")
+    return length

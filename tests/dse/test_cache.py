@@ -174,7 +174,13 @@ class TestDiskPersistence:
         cache = AnalysisCache()
         cache.put("t", "k", "v")
         cache.save_disk(store)
-        assert [p.name for p in tmp_path.iterdir()] == ["analysis.pkl"]
+        # Besides the store itself, only the advisory-lock sidecar may
+        # exist (it must persist: unlinking a lock file lets a late
+        # waiter and a fresh creator hold "the" lock simultaneously).
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "analysis.pkl",
+            "analysis.pkl.lock",
+        ]
 
     def test_unpicklable_entries_are_skipped(self, tmp_path):
         store = tmp_path / "analysis.pkl"

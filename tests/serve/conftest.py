@@ -1,0 +1,57 @@
+"""Fixtures and asyncio plumbing for the compile-farm test suite.
+
+CI installs pytest-asyncio (strict mode, explicit ``@pytest.mark.asyncio``
+markers).  Local checkouts may not have it; the hook below runs marked
+coroutine tests through ``asyncio.run`` in that case, so the suite passes
+identically either way — the same shim pattern the repo root uses for
+pytest-timeout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+
+import pytest
+
+from repro.dse.cache import ANALYSIS_CACHE
+
+try:
+    import pytest_asyncio  # noqa: F401
+
+    _HAVE_PYTEST_ASYNCIO = True
+except ImportError:
+    _HAVE_PYTEST_ASYNCIO = False
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "asyncio: run this coroutine test on a fresh event loop"
+    )
+
+
+if not _HAVE_PYTEST_ASYNCIO:
+
+    @pytest.hookimpl(tryfirst=True)
+    def pytest_pyfunc_call(pyfuncitem):
+        test_fn = pyfuncitem.obj
+        if pyfuncitem.get_closest_marker("asyncio") and inspect.iscoroutinefunction(
+            test_fn
+        ):
+            kwargs = {
+                name: pyfuncitem.funcargs[name]
+                for name in pyfuncitem._fixtureinfo.argnames
+            }
+            asyncio.run(test_fn(**kwargs))
+            return True
+        return None
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    """Farm tests drive the process-global cache; isolate them from each other."""
+    ANALYSIS_CACHE.clear()
+    ANALYSIS_CACHE.enabled = True
+    yield
+    ANALYSIS_CACHE.clear()
+    ANALYSIS_CACHE.enabled = True

@@ -1,0 +1,106 @@
+"""The TCP transport: framing over real sockets, remote dedup, bad peers."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.dse.space import DesignPoint
+from repro.errors import FarmError
+from repro.serve import CompileFarm, CompileRequest
+from repro.serve.net import FarmServer, RemoteClient
+
+SIZES = {"sumrows": {"m": 1024, "n": 64}}
+
+
+def _points(pars=(1, 2, 4)):
+    return [DesignPoint.make(tile_sizes={"m": 64, "n": 64}, par=par) for par in pars]
+
+
+@pytest.mark.asyncio
+async def test_remote_gather_matches_local_submission_order():
+    points = _points()
+    farm = CompileFarm(["sumrows"], sizes=SIZES, workers=1)
+    async with farm:
+        async with FarmServer(farm) as server:
+            host, port = server.address
+            async with await RemoteClient.connect(host, port) as client:
+                assert await client.ping()
+                responses = await client.gather(
+                    [CompileRequest("sumrows", p) for p in points]
+                )
+    assert [r.point for r in responses] == points
+    assert all(r.ok for r in responses)
+    assert [r.status for r in responses] == ["evaluated"] * len(points)
+
+
+@pytest.mark.asyncio
+async def test_remote_duplicates_dedupe_on_the_server():
+    points = _points((1, 2))
+    farm = CompileFarm(["sumrows"], sizes=SIZES, workers=1)
+    async with farm:
+        async with FarmServer(farm) as server:
+            host, port = server.address
+            async with await RemoteClient.connect(host, port) as client:
+                responses = await client.gather(
+                    [CompileRequest("sumrows", p) for p in points + points]
+                )
+                stats = await client.stats()
+    assert [r.status for r in responses] == [
+        "evaluated",
+        "evaluated",
+        "coalesced",
+        "coalesced",
+    ]
+    assert stats["scheduled"] == 2
+    assert stats["evaluations"] == 2
+
+
+@pytest.mark.asyncio
+async def test_remote_stream_yields_in_completion_order():
+    points = _points()
+    farm = CompileFarm(["sumrows"], sizes=SIZES, workers=1)
+    async with farm:
+        async with FarmServer(farm) as server:
+            host, port = server.address
+            async with await RemoteClient.connect(host, port) as client:
+                streamed = [
+                    r
+                    async for r in client.stream(
+                        [CompileRequest("sumrows", p) for p in points]
+                    )
+                ]
+    assert len(streamed) == len(points)
+    assert {r.point for r in streamed} == set(points)
+
+
+@pytest.mark.asyncio
+async def test_remote_unknown_benchmark_surfaces_as_farm_error():
+    farm = CompileFarm(["sumrows"], sizes=SIZES, workers=1)
+    async with farm:
+        async with FarmServer(farm) as server:
+            host, port = server.address
+            async with await RemoteClient.connect(host, port) as client:
+                with pytest.raises(FarmError, match="not served"):
+                    await client.gather(
+                        [CompileRequest("nosuchbench", _points()[0])]
+                    )
+
+
+@pytest.mark.asyncio
+async def test_malformed_frame_drops_the_connection():
+    farm = CompileFarm(["sumrows"], sizes=SIZES, workers=1)
+    async with farm:
+        async with FarmServer(farm) as server:
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"this is not a frame and never will be")
+            await writer.drain()
+            # The server drops a desynchronised peer instead of answering.
+            assert await reader.read() == b""
+            writer.close()
+            await writer.wait_closed()
+            # The farm itself is unaffected: a fresh connection still works.
+            async with await RemoteClient.connect(host, port) as client:
+                assert await client.ping()

@@ -1,0 +1,118 @@
+"""Request/response records, submission-order gather, wire framing."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.dse.space import DesignPoint
+from repro.errors import ProtocolError
+from repro.serve.protocol import (
+    STATUSES,
+    CompileRequest,
+    CompileResponse,
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    frame_header_size,
+    gather,
+    parse_frame_header,
+)
+
+
+def _point(par: int = 1, pipeline: str = "default") -> DesignPoint:
+    return DesignPoint.make(tile_sizes={"m": 64}, par=par, pipeline=pipeline)
+
+
+def _response(rid: str, status: str = "evaluated") -> CompileResponse:
+    return CompileResponse(
+        request_id=rid, benchmark="sumrows", point=_point(), status=status
+    )
+
+
+class TestCompileRequest:
+    def test_resolved_folds_pipeline_into_point(self):
+        request = CompileRequest("sumrows", _point(pipeline="default"), pipeline="rewrite")
+        resolved = request.resolved("analytical")
+        assert resolved.point.pipeline == "rewrite"
+        assert resolved.pipeline is None
+        assert resolved.cycle_model == "analytical"
+
+    def test_resolved_pins_default_cycle_model(self):
+        resolved = CompileRequest("sumrows", _point()).resolved("event")
+        assert resolved.cycle_model == "event"
+
+    def test_resolved_keeps_explicit_cycle_model(self):
+        request = CompileRequest("sumrows", _point(), cycle_model="analytical")
+        assert request.resolved("event").cycle_model == "analytical"
+
+    def test_resolved_noop_pipeline_keeps_point(self):
+        point = _point(pipeline="default")
+        resolved = CompileRequest("sumrows", point, pipeline="default").resolved("analytical")
+        assert resolved.point is point
+
+
+class TestGather:
+    def test_restores_submission_order(self):
+        order = ["r0", "r1", "r2"]
+        completion_ordered = [_response("r2"), _response("r0"), _response("r1")]
+        assert [r.request_id for r in gather(completion_ordered, order)] == order
+
+    def test_missing_response_raises(self):
+        with pytest.raises(ProtocolError, match="missing"):
+            gather([_response("r0")], ["r0", "r1"])
+
+    def test_duplicate_response_raises(self):
+        with pytest.raises(ProtocolError, match="duplicate"):
+            gather([_response("r0"), _response("r0")], ["r0"])
+
+    def test_unexpected_response_raises(self):
+        with pytest.raises(ProtocolError, match="unexpected"):
+            gather([_response("r0"), _response("rX")], ["r0"])
+
+    def test_statuses_cover_response_vocabulary(self):
+        assert set(STATUSES) == {
+            "evaluated",
+            "cached",
+            "coalesced",
+            "journal",
+            "failed",
+            "cancelled",
+        }
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        payload = {"op": "submit", "requests": [CompileRequest("sumrows", _point())]}
+        decoded = decode_frame(encode_frame(payload))
+        assert decoded["op"] == "submit"
+        assert decoded["requests"][0].benchmark == "sumrows"
+
+    def test_checksum_mismatch_raises(self):
+        frame = bytearray(encode_frame({"op": "ping"}))
+        frame[-1] ^= 0xFF
+        with pytest.raises(ProtocolError, match="checksum"):
+            decode_frame(bytes(frame))
+
+    def test_bad_magic_raises(self):
+        frame = b"XXXX" + encode_frame({"op": "ping"})[4:]
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_frame(frame)
+
+    def test_truncated_frame_raises(self):
+        frame = encode_frame({"op": "ping"})
+        with pytest.raises(ProtocolError):
+            decode_frame(frame[: frame_header_size() - 2])
+        with pytest.raises(ProtocolError, match="length"):
+            decode_frame(frame[:-3])
+
+    def test_header_parse_returns_length(self):
+        frame = encode_frame({"op": "ping"})
+        length = parse_frame_header(frame[: frame_header_size()])
+        assert length == len(frame) - frame_header_size()
+
+    def test_header_rejects_oversized_length(self):
+        header = struct.pack(">4sI16s", b"RFRM", MAX_FRAME_BYTES + 1, b"\0" * 16)
+        with pytest.raises(ProtocolError, match="too large"):
+            parse_frame_header(header)

@@ -1,0 +1,138 @@
+"""Memory-mapped cache snapshots: write, lazy attach, corruption handling."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.dse.cache import CACHE_VERSION, AnalysisCache
+from repro.errors import CacheIntegrityError
+from repro.serve.snapshot import (
+    SNAPSHOT_MAGIC,
+    SnapshotView,
+    attach_snapshot,
+    write_snapshot,
+)
+
+
+def _warm_cache() -> AnalysisCache:
+    cache = AnalysisCache()
+    for i in range(8):
+        cache.put("point_results", ("pr", i), {"cycles": i * 100})
+        cache.put("tiling", ("tile", i), [i, i + 1])
+    cache.put("pipeline_pass", ("pp", 0), "payload")
+    return cache
+
+
+class TestWriteSnapshot:
+    def test_writes_one_blob_per_nonempty_table(self, tmp_path):
+        snap = tmp_path / "cache.snap"
+        assert write_snapshot(snap, _warm_cache()) == 3
+        view = SnapshotView(snap)
+        assert view.tables == ["pipeline_pass", "point_results", "tiling"]
+        assert view.version == CACHE_VERSION
+        view.close()
+
+    def test_empty_cache_writes_empty_snapshot(self, tmp_path):
+        snap = tmp_path / "cache.snap"
+        assert write_snapshot(snap, AnalysisCache()) == 0
+        assert attach_snapshot(AnalysisCache(), snap) == 0
+
+    def test_unpicklable_entries_are_skipped(self, tmp_path):
+        cache = AnalysisCache()
+        cache.put("point_results", ("ok",), 1)
+        cache.put("point_results", ("bad",), lambda: None)
+        snap = tmp_path / "cache.snap"
+        assert write_snapshot(snap, cache) == 1
+        view = SnapshotView(snap)
+        assert view.entries("point_results") == [(("ok",), 1)]
+        view.close()
+
+
+class TestAttach:
+    def test_attach_is_lazy_per_table(self, tmp_path):
+        snap = tmp_path / "cache.snap"
+        write_snapshot(snap, _warm_cache())
+        fresh = AnalysisCache()
+        assert attach_snapshot(fresh, snap) == 3
+        # Nothing decoded yet: attaching is index-only.
+        assert fresh.size() == 0
+        assert fresh.get("point_results", ("pr", 3)) == {"cycles": 300}
+        # Only the touched table materialised.
+        assert fresh.size("point_results") == 8
+        assert fresh.size("tiling") == 0
+        assert fresh.size("pipeline_pass") == 0
+
+    def test_attach_does_not_mark_dirty(self, tmp_path):
+        snap = tmp_path / "cache.snap"
+        write_snapshot(snap, _warm_cache())
+        fresh = AnalysisCache()
+        attach_snapshot(fresh, snap)
+        fresh.get("tiling", ("tile", 0))
+        assert not fresh.dirty
+
+    def test_live_entries_win_on_collision(self, tmp_path):
+        snap = tmp_path / "cache.snap"
+        write_snapshot(snap, _warm_cache())
+        fresh = AnalysisCache()
+        fresh.put("point_results", ("pr", 0), "live wins")
+        attach_snapshot(fresh, snap)
+        assert fresh.get("point_results", ("pr", 0)) == "live wins"
+        assert fresh.get("point_results", ("pr", 1)) == {"cycles": 100}
+
+    def test_missing_file_attaches_nothing(self, tmp_path):
+        assert attach_snapshot(AnalysisCache(), tmp_path / "absent.snap") == 0
+
+    def test_version_mismatch_is_ignored(self, tmp_path):
+        snap = tmp_path / "cache.snap"
+        write_snapshot(snap, _warm_cache())
+        blob = bytearray(snap.read_bytes())
+        blob[4:8] = struct.pack(">I", CACHE_VERSION + 1)
+        snap.write_bytes(bytes(blob))
+        assert attach_snapshot(AnalysisCache(), snap) == 0
+
+    def test_bad_magic_raises(self, tmp_path):
+        snap = tmp_path / "cache.snap"
+        write_snapshot(snap, _warm_cache())
+        blob = bytearray(snap.read_bytes())
+        blob[:4] = b"JUNK"
+        snap.write_bytes(bytes(blob))
+        with pytest.raises(CacheIntegrityError, match="not a cache snapshot"):
+            attach_snapshot(AnalysisCache(), snap)
+
+    def test_truncated_index_raises(self, tmp_path):
+        snap = tmp_path / "cache.snap"
+        write_snapshot(snap, _warm_cache())
+        snap.write_bytes(snap.read_bytes()[:14])
+        with pytest.raises(CacheIntegrityError, match="truncated"):
+            attach_snapshot(AnalysisCache(), snap)
+
+    def test_corrupt_blob_degrades_to_cold_table(self, tmp_path):
+        snap = tmp_path / "cache.snap"
+        write_snapshot(snap, _warm_cache())
+        blob = bytearray(snap.read_bytes())
+        blob[-1] ^= 0xFF  # flip a byte inside the last table's blob
+        snap.write_bytes(bytes(blob))
+        fresh = AnalysisCache()
+        attached = attach_snapshot(fresh, snap)
+        assert attached == 3
+        # The corrupt table ("tiling" — blobs are written in sorted table
+        # order, so the last byte is its) fails its checksum at
+        # materialisation; the cache degrades it to cold with a warning
+        # instead of raising.
+        with pytest.warns(RuntimeWarning, match="lazy cache source"):
+            assert fresh.get("tiling", ("tile", 0)) is None
+        # The intact tables still serve.
+        assert fresh.get("point_results", ("pr", 0)) == {"cycles": 0}
+
+    def test_snapshot_preserves_lru_order(self, tmp_path):
+        cache = AnalysisCache()
+        for i in range(4):
+            cache.put("t", i, i)
+        cache.get("t", 0)  # refresh 0: order becomes 1,2,3,0
+        snap = tmp_path / "cache.snap"
+        write_snapshot(snap, cache)
+        view = SnapshotView(snap)
+        assert [key for key, _ in view.entries("t")] == [1, 2, 3, 0]
+        view.close()
