@@ -39,11 +39,17 @@ warm-vs-cold worker spawn comparison — eager ``load_disk`` warm-up
 against the lazily-mapped snapshot attach, with per-worker warm-up time
 measured inside the spawned processes.
 
-``--smoke`` shrinks the workload for CI (affects ``--faults`` and
-``--serve``).
+``--batch`` runs the batched-evaluation phase instead: the sweep through
+the scalar per-point loop and through the vectorized
+:func:`~repro.dse.batch.evaluate_point_batch` backend, cold (caches
+disabled) and warm (point results pre-seeded), asserting bit-identical
+numbers and the ≥ 5× cold points/sec target.
+
+``--smoke`` shrinks the workload for CI (affects ``--faults``,
+``--serve`` and ``--batch``).
 
 Run with ``PYTHONPATH=src python benchmarks/bench_dse.py
-[--faults|--serve [--smoke]]``.
+[--faults|--serve|--batch [--smoke]]``.
 """
 
 from __future__ import annotations
@@ -424,6 +430,103 @@ def run_faults_phase(smoke: bool) -> dict:
     }
 
 
+BATCH_SPEEDUP_TARGET = 5.0
+
+
+def run_batch_phase(smoke: bool) -> dict:
+    """Scalar vs batched point evaluation: points/sec cold and warm.
+
+    Cold runs disable every cache so both paths pay full compile cost;
+    warm runs pre-seed the point-result table so both paths serve pure
+    hits.  The batched backend must return bit-identical numbers and hit
+    the ≥ 5× cold throughput target.
+    """
+    sizes = SMOKE_SIZES if smoke else SIZES
+    space = default_space(
+        {name: sizes[name] for name in ("m", "n", "p")},
+        pars=(4, 8, 16, 32),
+        max_tiles_per_dim=2 if smoke else 3,
+    )
+    points = len(space)
+    print(f"[DSE batch] {BENCHMARK} {points} points, sizes {sizes}")
+
+    def cold(**kwargs):
+        ANALYSIS_CACHE.clear()
+        started = time.perf_counter()
+        result = explore(
+            BENCHMARK, sizes=sizes, space=space, prune=False,
+            memoize=False, **kwargs,
+        )
+        return result, time.perf_counter() - started
+
+    def warm(**kwargs):
+        ANALYSIS_CACHE.clear()
+        explore(BENCHMARK, sizes=sizes, space=space, prune=False, **kwargs)
+        misses_before = ANALYSIS_CACHE.stats()["point_results"]["misses"]
+        started = time.perf_counter()
+        result = explore(
+            BENCHMARK, sizes=sizes, space=space, prune=False, **kwargs
+        )
+        elapsed = time.perf_counter() - started
+        misses_after = ANALYSIS_CACHE.stats()["point_results"]["misses"]
+        assert misses_after == misses_before, "warm rerun recompiled points"
+        return result, elapsed
+
+    scalar_cold, t_scalar_cold = cold()
+    batched_cold, t_batched_cold = cold(batch_eval=True)
+
+    assert len(scalar_cold.evaluated) == len(batched_cold.evaluated) == points
+    for left, right in zip(scalar_cold.evaluated, batched_cold.evaluated):
+        assert left.point == right.point
+        assert (
+            left.cycles == right.cycles
+            and left.logic == right.logic
+            and left.ffs == right.ffs
+            and left.bram_bits == right.bram_bits
+            and left.read_bytes == right.read_bytes
+        ), f"batched result diverges from scalar for {left.label}"
+
+    _, t_scalar_warm = warm()
+    _, t_batched_warm = warm(batch_eval=True)
+
+    speedup_cold = t_scalar_cold / t_batched_cold
+    speedup_warm = t_scalar_warm / t_batched_warm
+    print(
+        f"[DSE batch] cold: scalar {t_scalar_cold:.2f}s "
+        f"({points / t_scalar_cold:.1f} pts/s) | batched {t_batched_cold:.2f}s "
+        f"({points / t_batched_cold:.1f} pts/s) | {speedup_cold:.2f}x"
+    )
+    print(
+        f"[DSE batch] warm: scalar {t_scalar_warm:.3f}s "
+        f"({points / t_scalar_warm:.0f} pts/s) | batched {t_batched_warm:.3f}s "
+        f"({points / t_batched_warm:.0f} pts/s) | {speedup_warm:.2f}x"
+    )
+    assert speedup_cold >= BATCH_SPEEDUP_TARGET, (
+        f"batched cold speedup {speedup_cold:.2f}x below the "
+        f"{BATCH_SPEEDUP_TARGET:.0f}x target"
+    )
+    return {
+        "points": points,
+        "smoke": smoke,
+        "bit_identical": True,
+        "cold": {
+            "seconds_scalar": round(t_scalar_cold, 4),
+            "seconds_batched": round(t_batched_cold, 4),
+            "points_per_second_scalar": round(points / t_scalar_cold, 2),
+            "points_per_second_batched": round(points / t_batched_cold, 2),
+            "speedup": round(speedup_cold, 2),
+            "speedup_target": BATCH_SPEEDUP_TARGET,
+        },
+        "warm": {
+            "seconds_scalar": round(t_scalar_warm, 4),
+            "seconds_batched": round(t_batched_warm, 4),
+            "points_per_second_scalar": round(points / t_scalar_warm, 2),
+            "points_per_second_batched": round(points / t_batched_warm, 2),
+            "speedup": round(speedup_warm, 2),
+        },
+    }
+
+
 SERVE_BENCHMARKS = ("gemm", "sumrows", "outerprod")
 SERVE_SIZES = {
     "gemm": {"m": 256, "n": 256, "p": 256},
@@ -665,13 +768,21 @@ def main(argv=None) -> int:
         help="run the compile-farm phase: sustained points/sec + spawn warm-up",
     )
     parser.add_argument(
+        "--batch",
+        action="store_true",
+        help="run the batched-evaluation phase: scalar vs batched points/sec",
+    )
+    parser.add_argument(
         "--smoke",
         action="store_true",
-        help="shrink the workload sizes (CI smoke; affects --faults and --serve)",
+        help="shrink the workload sizes (CI smoke; affects --faults, --serve "
+        "and --batch)",
     )
     args = parser.parse_args(argv)
 
-    if args.serve:
+    if args.batch:
+        record = {"benchmark": BENCHMARK, "batch": run_batch_phase(args.smoke)}
+    elif args.serve:
         record = {"serve": run_serve_phase(args.smoke)}
     elif args.faults:
         record = {"benchmark": BENCHMARK, "faults": run_faults_phase(args.smoke)}

@@ -166,18 +166,31 @@ def pareto_front(results: Sequence[PointResult]) -> List[PointResult]:
     A point dominates another when it is no worse on both cycles and area
     and strictly better on at least one.  Ties on both objectives are broken
     by label, so the front is canonical — independent of evaluation order.
+
+    Vectorized: one lexicographic sort, then a prefix-minimum sweep over
+    the area column — a point is on the front iff its area is strictly
+    below every earlier (faster-or-equal) point's area, which is exactly
+    the strict-``<`` running-minimum rule of the original Python loop.
     """
     from repro.dse.search import area_key
 
-    ordered = sorted(results, key=lambda r: (r.cycles, area_key(r), r.label))
-    front: List[PointResult] = []
-    best_area = float("inf")
-    for result in ordered:
-        area = area_key(result)
-        if area < best_area:
-            front.append(result)
-            best_area = area
-    return front
+    results = list(results)
+    if len(results) < 2:
+        return [r for r in results if area_key(r) < float("inf")]
+    cycles = np.array([r.cycles for r in results], dtype=np.float64)
+    areas = np.array([area_key(r) for r in results], dtype=np.float64)
+    labels = np.array([r.label for r in results])
+    # lexsort keys run least-significant first; stability matches sorted().
+    order = np.lexsort((labels, areas, cycles))
+    sorted_areas = areas[order]
+    keep = np.empty(len(results), dtype=bool)
+    keep[0] = sorted_areas[0] < float("inf")
+    # NaN areas count as +inf in the running minimum: they never join the
+    # front and never tighten it — matching the scalar loop, where NaN
+    # always failed the strict comparison and left best_area untouched.
+    running = np.minimum.accumulate(np.where(np.isnan(sorted_areas), np.inf, sorted_areas))
+    keep[1:] = sorted_areas[1:] < running[:-1]
+    return [results[index] for index in order[keep]]
 
 
 # ---------------------------------------------------------------------------
@@ -635,6 +648,7 @@ def explore(
     cycle_model: str = "analytical",
     pipelines: Optional[Sequence[str]] = None,
     resilience: Optional[ResiliencePolicy] = None,
+    batch_eval: Union[bool, int, None] = None,
 ) -> ExplorationResult:
     """Explore a benchmark's design space and return Pareto-ranked results.
 
@@ -687,6 +701,18 @@ def explore(
             fast path; a ``KeyboardInterrupt`` still returns partial
             results (``interrupted=True``) and a failed pool spawn still
             degrades to serial evaluation in either mode.
+        batch_eval: evaluate each search batch through the vectorized
+            backend (:func:`repro.dse.batch.evaluate_point_batch`) instead
+            of per-point calls — bit-identical results, same cache entries
+            and journal digests.  ``True`` evaluates whole batches; an
+            integer caps the block size (memory bound on the stacked
+            arrays); ``None``/``False`` keeps the per-point path.  Only the
+            in-process path batches: with ``workers > 1`` the pool already
+            amortises dispatch, so ``batch_eval`` is ignored there.  Under
+            a resilience policy, points the fault plan targets detour
+            through the supervised per-point path (retries, quarantine,
+            corruption checks), everything else is batched — chaos runs
+            stay bit-identical to fault-free ones.
     """
     from repro.dse.search import SearchDriver, get_strategy
 
@@ -817,9 +843,47 @@ def explore(
             for point in points
         ]
 
+    if batch_eval is not None and batch_eval is not False:
+        if batch_eval is not True and (
+            not isinstance(batch_eval, int) or batch_eval < 1
+        ):
+            raise ValueError(
+                f"batch_eval must be True, False, None or a positive block "
+                f"size, got {batch_eval!r}"
+            )
+        block = None if batch_eval is True else int(batch_eval)
+
+        def eval_batched(points: List[DesignPoint]) -> List[PointResult]:
+            from repro.dse.batch import evaluate_point_batch
+
+            if block is None or block >= len(points):
+                blocks = [points]
+            else:
+                blocks = [
+                    points[start : start + block]
+                    for start in range(0, len(points), block)
+                ]
+            out: List[PointResult] = []
+            for chunk in blocks:
+                out.extend(
+                    evaluate_point_batch(
+                        program,
+                        bindings,
+                        chunk,
+                        model=model,
+                        session=session,
+                        cycle_model=cycle_model,
+                    )
+                )
+            return out
+
+        eval_in_process = eval_batched
+    else:
+        eval_in_process = eval_serial
+
     def run_legacy() -> None:
         if workers <= 1:
-            drive(with_replay(eval_serial))
+            drive(with_replay(eval_in_process))
             return
         try:
             pool = pool_context().Pool(
@@ -836,7 +900,7 @@ def explore(
                 RuntimeWarning,
                 stacklevel=2,
             )
-            drive(with_replay(eval_serial))
+            drive(with_replay(eval_in_process))
             return
 
         def eval_pool(points: List[DesignPoint]) -> List[PointResult]:
@@ -898,6 +962,36 @@ def explore(
         )
         try:
             def eval_supervised(points: List[DesignPoint]) -> List[PointResult]:
+                if eval_in_process is not eval_serial and workers <= 1:
+                    # Batched + supervised: only the points the fault plan
+                    # actually targets need the per-point supervision
+                    # machinery (timeouts, retries, corruption checks,
+                    # quarantine); the rest go through the vectorized
+                    # backend.  Results are bit-identical either way, so
+                    # chaos runs match fault-free ones exactly as in the
+                    # per-point path.
+                    plan = policy.fault_plan
+                    victims = {
+                        i
+                        for i, p in enumerate(points)
+                        if plan is not None
+                        and plan.spec_for(benchmark.name, p.label) is not None
+                    }
+                    out: List[Optional[PointResult]] = [None] * len(points)
+                    clean = [i for i in range(len(points)) if i not in victims]
+                    if clean:
+                        for i, result in zip(
+                            clean, eval_in_process([points[i] for i in clean])
+                        ):
+                            out[i] = result
+                    if victims:
+                        ordered = sorted(victims)
+                        supervised = evaluator.evaluate(
+                            [(benchmark.name, points[i]) for i in ordered]
+                        )
+                        for i, result in zip(ordered, supervised):
+                            out[i] = result
+                    return out  # type: ignore[return-value]
                 results = evaluator.evaluate([(benchmark.name, p) for p in points])
                 if memoize and workers > 1:
                     ok = [

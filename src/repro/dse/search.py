@@ -14,7 +14,7 @@ evaluation budget are simply absent).  :func:`run_search` drives one
 strategy; the multi-benchmark explorer drives several concurrently,
 interleaving their batches over one shared pool.
 
-Three strategies ship:
+Four strategies ship:
 
 * :class:`ExhaustiveStrategy` — the grid: propose every point at once
   (PR 1's behaviour, now expressed through the same interface);
@@ -23,7 +23,10 @@ Three strategies ship:
   front stops changing;
 * :class:`GeneticStrategy` — a small genetic algorithm: tournament
   selection on Pareto rank, per-gene uniform crossover and single-gene
-  mutation over the tile/par/metapipelining genome.
+  mutation over the tile/par/metapipelining genome;
+* :class:`AnnealingStrategy` — simulated annealing whose per-round batch
+  budget adapts to front-hypervolume stalls: effort concentrates while
+  the Pareto front is still moving and decays to a stop once it plateaus.
 
 All strategies are deterministic under a fixed seed: randomness flows
 exclusively through the ``numpy`` generator handed to ``search``, and every
@@ -60,6 +63,7 @@ __all__ = [
     "ExhaustiveStrategy",
     "HillClimbStrategy",
     "GeneticStrategy",
+    "AnnealingStrategy",
     "SearchDriver",
     "SearchOutcome",
     "run_search",
@@ -313,21 +317,43 @@ def pareto_rank(results: Sequence) -> Dict[DesignPoint, int]:
     """Non-dominated sorting rank per point (0 = on the Pareto front).
 
     Repeatedly peels the (cycles, area) front; each peel gets the next
-    rank.  Quadratic in the population, which is fine at GA scale.
+    rank.  One lexicographic sort up front, then each peel is a vectorized
+    prefix-minimum sweep over the still-unranked points — the same fronts,
+    in the same order, as peeling with ``pareto_front`` (which shares the
+    sort key and the strict-``<`` tie rule), without re-sorting per rank.
     """
-    from repro.dse.engine import pareto_front
-
-    ranks: Dict[DesignPoint, int] = {}
-    remaining = list(results)
+    results = list(results)
+    if not results:
+        return {}
+    cycles = np.array([r.cycles for r in results], dtype=np.float64)
+    areas = np.array([area_key(r) for r in results], dtype=np.float64)
+    labels = np.array([r.label for r in results])
+    # Primary cycles, then area, then label — np.lexsort keys are listed
+    # least-significant first, and its stability matches sorted().
+    order = np.lexsort((labels, areas, cycles))
+    sorted_areas = areas[order]
+    # Results sharing one DesignPoint leave together (the scalar peel
+    # removed by point membership, and the rank dict is keyed per point).
+    gid_of: Dict[DesignPoint, int] = {}
+    gids = np.array(
+        [gid_of.setdefault(r.point, len(gid_of)) for r in results], dtype=np.intp
+    )
+    sorted_gids = gids[order]
+    gid_rank = np.full(len(gid_of), -1, dtype=np.intp)
+    remaining = np.ones(len(results), dtype=bool)
     rank = 0
-    while remaining:
-        front = pareto_front(remaining)
-        front_points = {r.point for r in front}
-        for result in front:
-            ranks[result.point] = rank
-        remaining = [r for r in remaining if r.point not in front_points]
+    while remaining.any():
+        alive = np.flatnonzero(remaining)
+        area_run = sorted_areas[alive]
+        keep = np.empty(len(alive), dtype=bool)
+        keep[0] = True
+        if len(alive) > 1:
+            keep[1:] = area_run[1:] < np.minimum.accumulate(area_run)[:-1]
+        front_gids = sorted_gids[alive[keep]]
+        gid_rank[front_gids] = rank
+        remaining[alive] = ~np.isin(sorted_gids[alive], front_gids)
         rank += 1
-    return ranks
+    return {point: int(gid_rank[gid]) for point, gid in gid_of.items()}
 
 
 def hypervolume(
@@ -353,13 +379,20 @@ def hypervolume(
     front = sorted(
         ((r.cycles, area_key(r)) for r in pareto_front(results)), key=lambda p: p[0]
     )
+    cycles = np.array([c for c, _ in front], dtype=np.float64)
+    areas = np.array([a for _, a in front], dtype=np.float64)
+    next_cycles = np.minimum(np.append(cycles[1:], ref_cycles), ref_cycles)
+    terms = np.where(
+        (cycles >= ref_cycles) | (areas >= ref_area),
+        0.0,
+        (next_cycles - cycles) * (ref_area - areas),
+    )
+    # Left-to-right accumulation (adding exact 0.0 for skipped points) keeps
+    # the result bit-identical to the original Python loop; np.sum's
+    # pairwise reduction would not.
     volume = 0.0
-    for i, (cycles, area) in enumerate(front):
-        if cycles >= ref_cycles or area >= ref_area:
-            continue
-        next_cycles = front[i + 1][0] if i + 1 < len(front) else ref_cycles
-        next_cycles = min(next_cycles, ref_cycles)
-        volume += (next_cycles - cycles) * (ref_area - area)
+    for term in terms:
+        volume += float(term)
     return volume
 
 
@@ -618,10 +651,148 @@ class GeneticStrategy(Strategy):
             population = pool[:size]
 
 
+class AnnealingStrategy(Strategy):
+    """Simulated annealing with a plateau-adaptive batch budget.
+
+    A pool of walkers proposes mutated candidates each round — hot walkers
+    take multi-gene jumps, cooling shrinks the steps to one-gene moves —
+    and the walkers themselves are re-seated every round on the current
+    Pareto front (padded with random evaluated points, so the pool keeps
+    an exploratory tail).
+
+    The batch budget is sized by **front-hypervolume stall detection**:
+    the hypervolume of everything seen so far is tracked against a
+    reference corner frozen after the seed round (a moving reference would
+    make rounds incomparable).  A round that fails to grow the volume by
+    ``plateau_epsilon`` (relative) is a stall — the next round's budget
+    halves (never below ``min_batch``), and ``plateau_patience``
+    consecutive stalls stop the search.  Any improving round restores the
+    full budget.  The effect is the ISSUE's "spend the reclaimed cycles
+    adaptively": evaluation effort concentrates while the front is moving
+    and decays to zero once it isn't, which is how the strategy reaches
+    the exhaustive front's hypervolume on fewer evaluations than a
+    fixed-generation genetic run.
+
+    Deterministic under a fixed seed: every random draw flows through the
+    driver's generator, and all collections are insertion-ordered.
+    """
+
+    name = "annealing"
+
+    def __init__(
+        self,
+        walkers: int = 12,
+        rounds: int = 64,
+        start_temperature: float = 1.0,
+        cooling: float = 0.85,
+        plateau_epsilon: float = 0.002,
+        plateau_patience: int = 3,
+        min_batch: int = 4,
+    ) -> None:
+        self.walkers = walkers
+        self.rounds = rounds
+        self.start_temperature = start_temperature
+        self.cooling = cooling
+        self.plateau_epsilon = plateau_epsilon
+        self.plateau_patience = plateau_patience
+        self.min_batch = min_batch
+
+    def _reseat_walkers(
+        self,
+        seen: Dict[DesignPoint, object],
+        count: int,
+        rng: np.random.Generator,
+    ) -> List[DesignPoint]:
+        from repro.dse.engine import pareto_front
+
+        front = [r.point for r in pareto_front(list(seen.values()))]
+        walkers = front[:count]
+        if len(walkers) < count:
+            pool = [p for p in seen if p not in set(walkers)]
+            while len(walkers) < count and pool:
+                walkers.append(pool.pop(int(rng.integers(len(pool)))))
+        return walkers
+
+    def search(self, space, rng):
+        points = list(space)
+        if not points:
+            return
+        axes = SpaceAxes.from_space(space)
+        count = min(self.walkers, len(points))
+
+        # Seed round: the gene-space extremes plus a random sample.
+        seeded: Dict[DesignPoint, None] = dict.fromkeys(axes.anchors())
+        picks = sorted(rng.choice(len(points), size=count, replace=False).tolist())
+        for index in picks:
+            seeded.setdefault(points[index], None)
+        results = yield list(seeded)
+        if not results:
+            return
+        seen: Dict[DesignPoint, object] = dict(results)
+
+        # The reference corner is frozen here: hypervolumes of later rounds
+        # are only comparable against a fixed worst-case box.
+        reference = (
+            max(r.cycles for r in seen.values()) * 1.05,
+            max(area_key(r) for r in seen.values()) * 1.05,
+        )
+        best_volume = hypervolume(list(seen.values()), reference)
+        temperature = self.start_temperature
+        budget = count
+        stalls = 0
+
+        for _ in range(self.rounds):
+            walkers = self._reseat_walkers(seen, count, rng)
+            heat = min(1.0, temperature / max(self.start_temperature, 1e-12))
+            proposals: Dict[DesignPoint, None] = {}
+            attempts = 0
+            while len(proposals) < budget and attempts < budget * 8:
+                walker = walkers[attempts % len(walkers)]
+                attempts += 1
+                candidate = axes.mutate(walker, rng)
+                if rng.random() < heat:  # hot: take a second gene step
+                    candidate = axes.mutate(candidate, rng)
+                if candidate not in seen:
+                    proposals.setdefault(candidate, None)
+            if not proposals:
+                # The neighbourhood closed around the walkers: draw fresh
+                # unseen points so a plateau verdict is based on evidence,
+                # not exhaustion.
+                unseen = [p for p in points if p not in seen]
+                if not unseen:
+                    return
+                size = min(len(unseen), budget)
+                picks = sorted(
+                    rng.choice(len(unseen), size=size, replace=False).tolist()
+                )
+                proposals = dict.fromkeys(unseen[i] for i in picks)
+            results = yield list(proposals)
+            if not results:
+                return
+            seen.update(results)
+
+            volume = hypervolume(list(seen.values()), reference)
+            if best_volume > 0:
+                improved = (volume - best_volume) / best_volume > self.plateau_epsilon
+            else:
+                improved = volume > 0
+            if improved:
+                stalls = 0
+                budget = count
+            else:
+                stalls += 1
+                budget = max(self.min_batch, budget // 2)
+                if stalls >= self.plateau_patience:
+                    return
+            best_volume = max(best_volume, volume)
+            temperature *= self.cooling
+
+
 _STRATEGIES: Dict[str, Callable[[], Strategy]] = {
     "exhaustive": ExhaustiveStrategy,
     "hill-climb": HillClimbStrategy,
     "genetic": GeneticStrategy,
+    "annealing": AnnealingStrategy,
 }
 
 

@@ -84,7 +84,7 @@ from repro.ppl.program import Program
 from repro.ppl.traversal import collect, walk
 from repro.target.device import Board, DEFAULT_BOARD
 
-__all__ = ["HardwareGenerator", "generate_hardware"]
+__all__ = ["GenerationShared", "HardwareGenerator", "generate_hardware"]
 
 WORD_BYTES = 4
 
@@ -105,6 +105,80 @@ RANDOM_REQUEST_DIVISOR = 32
 BASELINE_STREAM_BUFFER_WORDS = 4096
 
 
+class GenerationShared:
+    """Caches of per-program analyses reusable across many design points.
+
+    Everything here depends only on ``(program, bindings)`` — never on the
+    parallelism factor or metapipelining flag — so the batched DSE path
+    builds one instance per tiled program and shares it across all the
+    (par, metapipelining) points lowered from it.  Results are identical to
+    recomputing from scratch; the caches only skip repeated IR walks over
+    the same hash-consed nodes.
+    """
+
+    def __init__(self, program: Program, bindings: Mapping[str, object]) -> None:
+        self.program = program
+        env = workload_env(program, bindings)
+        self.shapes = input_shapes(program, bindings)
+        # Arrays without explicit bindings get shapes derived from size names.
+        self.evaluator = StaticEvaluator(env, self.shapes)
+        self._analyzer = TrafficAnalyzer(program, self.evaluator)
+        self._preload_plan: Optional[Tuple[Tuple[str, int], ...]] = None
+        self._ops: Dict[int, float] = {}
+        self._records: Dict[int, List[AccessRecord]] = {}
+        self._output_words: Dict[int, int] = {}
+
+    def ops(self, node: Node) -> float:
+        key = id(node)
+        cached = self._ops.get(key)
+        if cached is None:
+            cached = self._ops[key] = count_scalar_ops(node, self.evaluator)
+        return cached
+
+    def traffic(self, node: Node) -> List[AccessRecord]:
+        key = id(node)
+        cached = self._records.get(key)
+        if cached is None:
+            cached = self._records[key] = list(self._analyzer.analyze(node))
+        return cached
+
+    def preload_plan(self) -> Tuple[Tuple[str, int], ...]:
+        """``(array name, words)`` of inputs preloadable whole on chip."""
+        if self._preload_plan is not None:
+            return self._preload_plan
+        copied = {
+            node.array.name
+            for node in collect(self.program.body, lambda n: isinstance(n, ArrayCopy))
+            if isinstance(node.array, Sym)
+        }
+        accessed = set()
+        for node in walk(self.program.body):
+            if isinstance(node, (ArrayApply, ArraySlice)) and isinstance(node.array, Sym):
+                accessed.add(node.array.name)
+        plan: List[Tuple[str, int]] = []
+        for array in self.program.inputs:
+            if array.name in copied or array.name not in accessed:
+                continue
+            shape = self.shapes.get(array.name)
+            if not shape:
+                continue
+            words = 1
+            for dim in shape:
+                words *= dim
+            if words * WORD_BYTES > PRELOAD_LIMIT_BYTES:
+                continue
+            plan.append((array.name, words))
+        self._preload_plan = tuple(plan)
+        return self._preload_plan
+
+    def output_words(self, expr: Expr, compute) -> int:
+        key = id(expr)
+        cached = self._output_words.get(key)
+        if cached is None:
+            cached = self._output_words[key] = compute(expr)
+        return cached
+
+
 class HardwareGenerator:
     """Generates a hardware design for one program + configuration + workload."""
 
@@ -115,16 +189,17 @@ class HardwareGenerator:
         bindings: Mapping[str, object],
         board: Board = DEFAULT_BOARD,
         par: Optional[int] = None,
+        shared: Optional[GenerationShared] = None,
     ) -> None:
         self.program = program
         self.config = config
         self.board = board
         self.par = par or config.default_par
-        env = workload_env(program, bindings)
-        shapes = input_shapes(program, bindings)
-        # Arrays without explicit bindings get shapes derived from size names.
-        self.evaluator = StaticEvaluator(env, shapes)
-        self.shapes = shapes
+        if shared is None or shared.program is not program:
+            shared = GenerationShared(program, bindings)
+        self.shared = shared
+        self.evaluator = shared.evaluator
+        self.shapes = shared.shapes
 
         self.memories: List[HardwareModule] = []
         self.notes: List[str] = []
@@ -176,9 +251,12 @@ class HardwareGenerator:
         return f"{prefix}_{self._stage_counter}"
 
     def _ops(self, node: Node) -> float:
-        return count_scalar_ops(node, self.evaluator)
+        return self.shared.ops(node)
 
     def _output_words(self, expr: Expr) -> int:
+        return self.shared.output_words(expr, self._output_words_uncached)
+
+    def _output_words_uncached(self, expr: Expr) -> int:
         if isinstance(expr, Let):
             return self._output_words(expr.body)
         if isinstance(expr, MakeTuple):
@@ -207,47 +285,31 @@ class HardwareGenerator:
         k-means centroids (and gda's class means) are small enough to be held
         in on-chip memory for the whole computation, eliminating their
         off-chip re-reads.
-        """
-        copied = {
-            node.array.name
-            for node in collect(self.program.body, lambda n: isinstance(n, ArrayCopy))
-            if isinstance(node.array, Sym)
-        }
-        accessed = set()
-        for node in walk(self.program.body):
-            if isinstance(node, (ArrayApply, ArraySlice)) and isinstance(node.array, Sym):
-                accessed.add(node.array.name)
 
-        for array in self.program.inputs:
-            if array.name in copied or array.name not in accessed:
-                continue
-            shape = self.shapes.get(array.name)
-            if not shape:
-                continue
-            words = 1
-            for dim in shape:
-                words *= dim
-            if words * WORD_BYTES > PRELOAD_LIMIT_BYTES:
-                continue
+        The which-arrays-and-sizes decision is par-independent, so the plan
+        is computed (and shared) on :class:`GenerationShared`; only the
+        buffer banking below depends on this design point.
+        """
+        for name, words in self.shared.preload_plan():
             top.add(
                 TileLoad(
-                    name=f"preload_{array.name}",
+                    name=f"preload_{name}",
                     bytes_per_invocation=words * WORD_BYTES,
-                    source=array.name,
-                    destination=f"{array.name}_buffer",
+                    source=name,
+                    destination=f"{name}_buffer",
                 )
             )
             self.memories.append(
                 Buffer(
-                    name=f"{array.name}_buffer",
+                    name=f"{name}_buffer",
                     depth_words=words,
                     banks=min(self.par, max(1, words)),
-                    source=array.name,
+                    source=name,
                 )
             )
             self.read_bytes += words * WORD_BYTES
-            self.preloaded.add(array.name)
-            self.notes.append(f"input {array.name} preloaded on chip ({words} words)")
+            self.preloaded.add(name)
+            self.notes.append(f"input {name} preloaded on chip ({words} words)")
 
     # --------------------------------------------------------- tiled designs --
     def _emit(self, expr: Expr, parent: Controller, trips: int) -> None:
@@ -475,10 +537,9 @@ class HardwareGenerator:
 
     def _account_unhandled_accesses(self, pattern: Pattern, trips: int) -> None:
         """Count DRAM traffic of accesses not covered by tiles or preloads."""
-        analyzer = TrafficAnalyzer(self.program, self.evaluator)
         records = [
             record
-            for record in analyzer.analyze(pattern)
+            for record in self.shared.traffic(pattern)
             if not record.is_copy and record.array not in self.preloaded
         ]
         if not records:
@@ -497,10 +558,9 @@ class HardwareGenerator:
     def _emit_baseline(self, top: SequentialController) -> None:
         """Streaming kernels: compute in parallel with DRAM streams, no reuse."""
         bindings = self._top_level_bindings(self.program.body)
-        analyzer = TrafficAnalyzer(self.program, self.evaluator)
         last_index = len(bindings) - 1
         for position, (name, value) in enumerate(bindings):
-            records = [r for r in analyzer.analyze(value)]
+            records = list(self.shared.traffic(value))
             traffic_bytes, requests = self._baseline_stream(records)
             ops = self._ops(value)
             compute = self._baseline_compute_unit(name, value, ops)
@@ -600,6 +660,14 @@ def generate_hardware(
     bindings: Mapping[str, object],
     board: Board = DEFAULT_BOARD,
     par: Optional[int] = None,
+    shared: Optional[GenerationShared] = None,
 ) -> HardwareDesign:
-    """Convenience wrapper building a design in one call."""
-    return HardwareGenerator(program, config, bindings, board=board, par=par).generate()
+    """Convenience wrapper building a design in one call.
+
+    ``shared`` carries the par-independent analyses of one program across
+    many design points (see :class:`GenerationShared`); omit it for
+    one-shot lowering.
+    """
+    return HardwareGenerator(
+        program, config, bindings, board=board, par=par, shared=shared
+    ).generate()

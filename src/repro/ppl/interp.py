@@ -37,18 +37,26 @@ operations instead of one recursive Python evaluation per element:
 * a FlatMap filter — ``Select(pred, ArrayLit(...), EmptyArray())`` in
   either branch order, or an unconditional ``ArrayLit`` body — evaluates
   predicate and elements on the whole grid and gathers surviving rows in
-  row-major order.
+  row-major order;
+* a GroupByFold with a separable value function histograms through the
+  combiner's unbuffered ``ufunc.at`` (``np.add.at`` applies updates
+  strictly in element order, so each bucket folds in the reference's
+  visiting order), with ``np.bincount`` for pure integer counting.
 
 Bodies outside this fragment (tuple-valued results, data-dependent
 locations, array-typed ``Let`` bindings, tile copies, …) fall back to the
 reference recursive evaluator — per subexpression, so a non-vectorizable
 pattern still vectorizes its vectorizable children.  Equivalence with the
-reference path is enforced by ``tests/ppl/test_vectorized_interp.py``.
+reference path is enforced by ``tests/ppl/test_vectorized_interp.py``;
+``Interpreter.vector_hits`` counts which fast paths actually engaged, so
+those tests can assert a pattern took the vector path rather than silently
+falling back.
 """
 
 from __future__ import annotations
 
 import math
+from collections import Counter
 from typing import Dict, Mapping, Optional, Sequence, Union
 
 import numpy as np
@@ -127,6 +135,11 @@ class Interpreter:
             raise InterpreterError("parallel_partitions must be >= 1")
         self.parallel_partitions = parallel_partitions
         self.vectorize = vectorize
+        # Observability for the fast path: which vector patterns engaged
+        # (``map``, ``fold``, ``location_fold``, ``flatmap``, ``groupby``,
+        # ``groupby_bincount``) and how often.  Tests assert on these to
+        # prove a pattern was vectorized rather than silently falling back.
+        self.vector_hits: Counter = Counter()
 
     # -- public API ----------------------------------------------------------
     def evaluate(self, expr: Expr, env: Mapping[Sym, Value]) -> Value:
@@ -422,6 +435,10 @@ class Interpreter:
         return np.concatenate(chunks)
 
     def _eval_GroupByFold(self, expr: GroupByFold, env) -> Value:
+        if self.vectorize and self.parallel_partitions == 1:
+            result = self._vector_groupbyfold(expr, env)
+            if result is not None:
+                return result
         indices = self._domain_indices(expr.domain, env)
         partitions = self._partition(indices)
         init = self._eval(expr.init, env)
@@ -470,6 +487,7 @@ class Interpreter:
                 out[...] = values
         except _VectorFallback:
             return None
+        self.vector_hits["map"] += 1
         return out
 
     def _vector_multifold(self, expr: MultiFold, env: Dict[Sym, Value]) -> Optional[Value]:
@@ -493,6 +511,7 @@ class Interpreter:
                     result = self._vector_fold_values(expr, op, rest, env, {}, rank=0)
                 if result is None:
                     return None
+                self.vector_hits["fold"] += 1
                 return result.item() if isinstance(result, np.ndarray) else result
 
             return self._vector_location_fold(expr, op, rest, env)
@@ -507,7 +526,10 @@ class Interpreter:
         Covers reductions like ``sumrows`` — location ``i`` (or a tuple of
         distinct index variables), scalar accumulator slice, separable
         update — by reducing the generated-value grid along the
-        non-location axes in the reference's row-major order.
+        non-location axes in the reference's row-major order.  Strided
+        domains generate sparse raw-index locations; those land on a
+        strided region ``accumulator[0:extent:stride]`` of the same shape
+        as the iteration grid, so they vectorize the same way.
         """
         acc_sym = expr.value_func.params[-1]
         if not isinstance(acc_sym.ty, ScalarType):
@@ -515,11 +537,6 @@ class Interpreter:
         loc_axes = _location_axes(expr)
         if loc_axes is None:
             return None
-        # Strided domains generate sparse raw-index locations; keep those on
-        # the reference path.
-        for stride in expr.domain.stride_exprs:
-            if not (isinstance(stride, Const) and stride.value == 1):
-                return None
 
         index_params = expr.value_func.params[:-1]
         rank = expr.domain.rank
@@ -527,12 +544,21 @@ class Interpreter:
         if grid is None:
             return None
         shape = self._domain_shape(expr.domain, env)
+        extents = [int(self._eval(e, env)) for e in expr.domain.dims]
+        strides = [int(self._eval(s, env)) for s in expr.domain.stride_exprs]
 
         init = self._eval(expr.init, env)
         if not isinstance(init, np.ndarray) or init.dtype == object:
             return None
         if init.ndim != len(loc_axes):
             return None
+        for position, axis in enumerate(loc_axes):
+            # The reference raises IndexError when a raw location falls
+            # outside the accumulator; a numpy slice would clamp silently,
+            # so out-of-bounds locations stay on the reference path.
+            last = (shape[axis] - 1) * strides[axis]
+            if shape[axis] and last >= init.shape[position]:
+                return None
 
         with np.errstate(all="ignore"):
             values = self._veval(rest, env, grid, rank=rank)
@@ -546,9 +572,12 @@ class Interpreter:
             ordered = ordered.reshape(loc_shape + (-1,)).astype(init.dtype, copy=False)
 
             out = np.array(init, copy=True)
-            region = tuple(slice(0, extent) for extent in loc_shape)
+            region = tuple(
+                slice(0, extents[axis], strides[axis]) for axis in loc_axes
+            )
             seq = np.concatenate([out[region][..., None], ordered], axis=-1)
             out[region] = op.accumulate(seq, axis=-1)[..., -1]
+        self.vector_hits["location_fold"] += 1
         return out
 
     def _vector_flatmap(self, expr: FlatMap, env: Dict[Sym, Value]) -> Optional[np.ndarray]:
@@ -615,9 +644,108 @@ class Interpreter:
         stacked = np.stack(columns, axis=-1)
         if stacked.dtype == object:
             return None
+        self.vector_hits["flatmap"] += 1
         if not mask.any():
             return np.zeros((0,), dtype=_numpy_dtype(element))
         return stacked[mask].ravel()
+
+    def _vector_groupbyfold(
+        self, expr: GroupByFold, env: Dict[Sym, Value]
+    ) -> Optional[np.ndarray]:
+        """Whole-array histogramming of a GroupByFold, or None to fall back.
+
+        Keys and bucket values are evaluated on the full (rank-1) index
+        grid; the per-bucket folds run through the combiner's unbuffered
+        ``ufunc.at`` — ``np.add.at`` and friends apply updates strictly in
+        element order, so each bucket accumulates in exactly the
+        reference's visiting order and float results are bit-identical.
+        Pure integer counting (init 0, all-ones values) takes
+        ``np.bincount`` instead.  Tuple keys, non-integral float keys and
+        speculative hazards fall back to the reference path, as do updates
+        that are not of the separable ``acc ⊕ f(i)`` form.
+        """
+        separable = _separable_update(expr)
+        if separable is None:
+            return None
+        op, rest = separable
+        if not isinstance(expr.init.ty, ScalarType):
+            return None
+        key_param = expr.key_func.params[0]
+        value_param = expr.value_func.params[0]
+        if not _vectorizable(expr.key_func.body, frozenset((key_param,))):
+            return None
+        if not _vectorizable(rest, frozenset((value_param,))):
+            return None
+
+        extent = int(self._eval(expr.domain.dims[0], env))
+        stride = int(self._eval(expr.domain.stride_exprs[0], env))
+        if stride <= 0:
+            raise InterpreterError(f"non-positive domain stride {stride}")
+        indices = np.arange(0, extent, stride, dtype=np.int64)
+        if indices.size == 0:
+            return np.empty((0,), dtype=object)
+
+        init = self._eval(expr.init, env)
+        if isinstance(init, np.generic):
+            init = init.item()
+        if isinstance(init, bool) or not isinstance(init, (int, float)):
+            return None
+
+        try:
+            with np.errstate(all="ignore"):
+                keys = np.broadcast_to(
+                    np.asarray(
+                        self._veval(expr.key_func.body, env, {key_param: indices}, rank=1)
+                    ),
+                    indices.shape,
+                )
+                values = np.broadcast_to(
+                    np.asarray(self._veval(rest, env, {value_param: indices}, rank=1)),
+                    indices.shape,
+                )
+        except _VectorFallback:
+            return None
+
+        if keys.dtype.kind == "f":
+            # The reference normalises integral float keys to int before
+            # bucketing; non-integral (or non-finite) keys keep the
+            # reference path's Python-number ordering subtleties.
+            if not np.isfinite(keys).all() or not (keys == np.trunc(keys)).all():
+                return None
+            if keys.size and np.abs(keys).max() >= 2**62:
+                return None
+            keys = keys.astype(np.int64)
+        elif keys.dtype.kind not in "bi":
+            return None
+
+        dtype = np.result_type(np.asarray(init), values)
+        if dtype == object:
+            return None
+        values = values.astype(dtype, copy=False)
+        init_array = np.asarray(init, dtype=dtype)
+        _check_fold_operands(op, init_array, values, dtype)
+
+        uniques, inverse = np.unique(keys, return_inverse=True)
+        if (
+            op is np.add
+            and init == 0
+            and values.dtype.kind == "i"
+            and bool(np.all(values == 1))
+        ):
+            buckets = np.bincount(inverse, minlength=len(uniques)).astype(np.int64)
+            self.vector_hits["groupby_bincount"] += 1
+        else:
+            buckets = np.full(uniques.shape, init_array, dtype=dtype)
+            op.at(buckets, inverse, values)
+            self.vector_hits["groupby"] += 1
+
+        out = np.empty((len(uniques),), dtype=object)
+        for position in range(len(uniques)):
+            out[position] = (
+                _normalize_key(uniques[position].item()),
+                buckets[position].item(),
+            )
+        return out
 
     def _vector_fold_values(
         self,

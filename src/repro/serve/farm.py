@@ -98,6 +98,12 @@ class FarmStats:
     :class:`~repro.dse.resilience.SupervisionStats` the pool supervisor
     writes into, so respawns and fallbacks are reported exactly as an
     exploration would report them.
+
+    ``cache`` holds the most recent per-table snapshot of the analysis
+    cache — entries, evictions, hits, misses and the derived hit rate —
+    refreshed by :meth:`CompileFarm.cache_metrics` and on farm shutdown.
+    It is deliberately *not* merged into :meth:`as_dict`, whose consumers
+    (``supervision.update(...)`` in the explorer) index flat integers.
     """
 
     received: int = 0
@@ -108,6 +114,7 @@ class FarmStats:
     completed: int = 0
     failed: int = 0
     supervision: SupervisionStats = field(default_factory=SupervisionStats)
+    cache: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, int]:
         out = {
@@ -121,6 +128,26 @@ class FarmStats:
         }
         out.update(self.supervision.as_dict())
         return out
+
+    def record_cache(self, stats: Mapping[str, Mapping[str, int]]) -> None:
+        """Snapshot per-table cache counters, deriving hit rates.
+
+        ``stats`` is :meth:`repro.dse.cache.AnalysisCache.stats` output;
+        the hit rate is hits over total lookups (0.0 before any lookup).
+        """
+        snapshot: Dict[str, Dict[str, float]] = {}
+        for name, counters in stats.items():
+            hits = int(counters.get("hits", 0))
+            misses = int(counters.get("misses", 0))
+            lookups = hits + misses
+            snapshot[name] = {
+                "entries": int(counters.get("entries", 0)),
+                "evictions": int(counters.get("evictions", 0)),
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": (hits / lookups) if lookups else 0.0,
+            }
+        self.cache = snapshot
 
 
 @dataclass
@@ -258,6 +285,11 @@ class CompileFarm:
     def board_name(self) -> str:
         return self.board.name
 
+    def cache_metrics(self) -> Dict[str, Dict[str, float]]:
+        """Refresh :attr:`FarmStats.cache` from the live analysis cache."""
+        self.stats.record_cache(ANALYSIS_CACHE.stats())
+        return self.stats.cache
+
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> "CompileFarm":
         """Build lanes, warm the cache, load the journal, arm the pool."""
@@ -351,6 +383,7 @@ class CompileFarm:
             self.pools.teardown()
         if self.store is not None:
             ANALYSIS_CACHE.save_disk(self.store, only_if_dirty=True)
+        self.cache_metrics()
         self._closed = True
 
     async def drain(self) -> None:
@@ -453,6 +486,11 @@ class CompileFarm:
                 self.stats.coalesced += 1
                 return "coalesced", inflight
         self.stats.scheduled += 1
+        if ANALYSIS_CACHE.enabled and self.workers > 1:
+            # Pool workers memoise in their own process caches, so the
+            # parent-side miss is recorded here; the serial path's
+            # ``memoize()`` inside evaluate_point accounts for itself.
+            ANALYSIS_CACHE.misses["point_results"] += 1
         task = asyncio.get_running_loop().create_task(
             self._evaluate(lane, request, digest)
         )
@@ -486,6 +524,9 @@ class CompileFarm:
         cached = ANALYSIS_CACHE.get("point_results", key)
         if cached is None:
             return None
+        # ``get`` refreshes recency without accounting; admission hits
+        # count explicitly so the per-table metrics reflect farm traffic.
+        ANALYSIS_CACHE.hits["point_results"] += 1
         # Same copy discipline as evaluate_point: callers must not be able
         # to poison the shared entry through the handed-out result.
         return replace(cached, utilization=dict(cached.utilization))

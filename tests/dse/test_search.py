@@ -16,6 +16,7 @@ from hypothesis import strategies as st
 
 from repro.dse.engine import PointResult, pareto_front
 from repro.dse.search import (
+    AnnealingStrategy,
     ExhaustiveStrategy,
     GeneticStrategy,
     HillClimbStrategy,
@@ -175,9 +176,15 @@ class TestParetoUtilities:
 
 class TestStrategyRegistry:
     def test_names_resolve(self):
-        assert set(available_strategies()) == {"exhaustive", "hill-climb", "genetic"}
+        assert set(available_strategies()) == {
+            "exhaustive",
+            "hill-climb",
+            "genetic",
+            "annealing",
+        }
         assert isinstance(get_strategy("hill-climb"), HillClimbStrategy)
         assert isinstance(get_strategy("genetic"), GeneticStrategy)
+        assert isinstance(get_strategy("annealing"), AnnealingStrategy)
         assert isinstance(get_strategy(None), ExhaustiveStrategy)
 
     def test_instance_passes_through(self):

@@ -268,3 +268,161 @@ class TestReferenceSemanticsPreserved:
             run_program(program, bindings, vectorize=False)
         with pytest.raises(ValueError):
             run_program(program, bindings, vectorize=True)
+
+
+class TestGroupByFoldVectorPath:
+    """The GroupByFold histogram path: bit-identical buckets via the
+    combiner's unbuffered ``ufunc.at`` (``np.bincount`` for pure counting),
+    with ``vector_hits`` proving the fast path actually engaged — and the
+    documented triggers actually falling back."""
+
+    def _run_both(self, program, bindings):
+        env = program.bind(bindings)
+        reference = Interpreter().evaluate(program.body, env)
+        fast_interp = Interpreter(vectorize=True)
+        fast = fast_interp.evaluate(program.body, env)
+        assert len(reference) == len(fast)
+        for (ref_key, ref_value), (fast_key, fast_value) in zip(reference, fast):
+            assert type(ref_key) is type(fast_key) and ref_key == fast_key
+            assert type(ref_value) is type(fast_value)
+            assert ref_value == fast_value or (ref_value != ref_value and fast_value != fast_value)
+        return fast_interp.vector_hits
+
+    def _histogram(self, value_op="+", init=None, key_builder=None, strides=None):
+        from repro.ppl.ir import BinOp
+
+        nsym = b.size_sym("n")
+        keys = b.array_sym("k", 1)
+        values = b.array_sym("v", 1)
+        body = b.group_by_fold(
+            b.domain(nsym, strides=None if strides is None else [strides]),
+            b.flt(0.0) if init is None else init,
+            key_builder or (lambda i: b.apply_array(keys, i)),
+            lambda i, acc: BinOp(value_op, acc, b.apply_array(values, i)),
+        )
+        return Program(name="hist", inputs=[keys, values], sizes=[nsym], body=body)
+
+    def _bindings(self, n=257, key_dtype=np.int64):
+        rng = np.random.default_rng(5)
+        return {
+            "n": n,
+            "k": rng.integers(0, 13, n).astype(key_dtype),
+            "v": rng.standard_normal(n),
+        }
+
+    def test_float_histogram_engages_and_matches(self):
+        hits = self._run_both(self._histogram(), self._bindings())
+        assert hits["groupby"] == 1
+
+    @pytest.mark.parametrize("op", ["min", "max", "*"])
+    def test_other_combiners_engage(self, op):
+        hits = self._run_both(self._histogram(value_op=op), self._bindings())
+        assert hits["groupby"] == 1
+
+    def test_strided_domain_engages(self):
+        hits = self._run_both(self._histogram(strides=3), self._bindings())
+        assert hits["groupby"] == 1
+
+    def test_pure_int_counting_takes_bincount(self):
+        from repro.ppl.ir import BinOp
+
+        nsym = b.size_sym("n")
+        keys = b.array_sym("k", 1)
+        body = b.group_by_fold(
+            b.domain(nsym),
+            b.idx(0),
+            lambda i: b.apply_array(keys, i),
+            lambda i, acc: BinOp("+", acc, b.idx(1)),
+        )
+        program = Program(name="count", inputs=[keys], sizes=[nsym], body=body)
+        bindings = {"n": 301, "k": np.random.default_rng(2).integers(0, 9, 301)}
+        hits = self._run_both(program, bindings)
+        assert hits["groupby_bincount"] == 1
+        assert hits["groupby"] == 0
+
+    def test_integral_float_keys_normalize_to_int_buckets(self):
+        """Keys like 4.0 bucket as int 4 in the reference; the vector path
+        must produce int keys too, not float64 ones."""
+        from repro.ppl.ir import BinOp
+
+        nsym = b.size_sym("n")
+        keys = b.array_sym("k", 1)
+        values = b.array_sym("v", 1)
+        body = b.group_by_fold(
+            b.domain(nsym),
+            b.flt(0.0),
+            lambda i: b.mul(b.apply_array(keys, i), 1.0),
+            lambda i, acc: BinOp("+", acc, b.apply_array(values, i)),
+        )
+        program = Program(name="float-keys", inputs=[keys, values], sizes=[nsym], body=body)
+        hits = self._run_both(program, self._bindings(key_dtype=np.float64))
+        assert hits["groupby"] == 1
+
+    @pytest.mark.parametrize(
+        "trigger",
+        ["tuple_key", "non_integral_key", "non_separable_update"],
+    )
+    def test_documented_triggers_fall_back_and_match(self, trigger):
+        from repro.ppl.ir import BinOp
+
+        nsym = b.size_sym("n")
+        keys = b.array_sym("k", 1)
+        values = b.array_sym("v", 1)
+        if trigger == "tuple_key":
+            key_builder = lambda i: b.tup(b.apply_array(keys, i), b.idx(0))
+            value_builder = lambda i, acc: BinOp("+", acc, b.apply_array(values, i))
+        elif trigger == "non_integral_key":
+            key_builder = lambda i: b.add(b.apply_array(keys, i), 0.5)
+            value_builder = lambda i, acc: BinOp("+", acc, b.apply_array(values, i))
+        else:  # value function is not of the separable acc ⊕ f(i) form
+            key_builder = lambda i: b.apply_array(keys, i)
+            value_builder = lambda i, acc: BinOp(
+                "+", BinOp("*", acc, b.flt(0.5)), b.apply_array(values, i)
+            )
+        body = b.group_by_fold(b.domain(nsym), b.flt(0.0), key_builder, value_builder)
+        program = Program(name="fallback", inputs=[keys, values], sizes=[nsym], body=body)
+        hits = self._run_both(program, self._bindings(n=64))
+        assert hits["groupby"] == 0 and hits["groupby_bincount"] == 0
+
+    def test_empty_domain(self):
+        hits = self._run_both(self._histogram(), self._bindings(n=0))
+        assert hits["groupby"] == 0  # trivially empty, no histogram work
+
+
+class TestStridedLocationFold:
+    """Projection-location MultiFolds on strided domains: the raw locations
+    land on the strided accumulator region ``acc[0:extent:stride]``, so the
+    pattern vectorizes instead of falling back."""
+
+    def _sumrows(self, strides):
+        from repro.ppl.ir import BinOp
+        from repro.ppl.types import FLOAT32
+
+        msym = b.size_sym("m")
+        nsym = b.size_sym("n")
+        x = b.array_sym("x", 2)
+        body = b.multi_fold(
+            b.domain(msym, nsym, strides=strides),
+            (msym,),
+            b.zeros((msym,)),
+            lambda i, j: i,
+            lambda i, j, acc: BinOp("+", acc, b.apply_array(x, i, j)),
+            None,
+            acc_ty=FLOAT32,
+        )
+        return Program(name="strided-sumrows", inputs=[x], sizes=[msym, nsym], body=body)
+
+    @pytest.mark.parametrize("strides", [[1, 1], [2, 1], [1, 3], [3, 2], [4, 5]])
+    def test_engages_and_matches(self, strides):
+        program = self._sumrows(strides)
+        bindings = {
+            "m": 9,
+            "n": 11,
+            "x": np.random.default_rng(8).standard_normal((9, 11)).astype(np.float32),
+        }
+        env = program.bind(bindings)
+        reference = Interpreter().evaluate(program.body, env)
+        fast_interp = Interpreter(vectorize=True)
+        fast = fast_interp.evaluate(program.body, env)
+        assert_bit_identical(reference, fast)
+        assert fast_interp.vector_hits["location_fold"] == 1

@@ -344,3 +344,38 @@ class TestSyncClient:
         with client:
             with pytest.raises(FarmError, match="already started"):
                 client.start()
+
+
+class TestCacheMetrics:
+    @pytest.mark.asyncio
+    async def test_per_table_metrics_exposed_through_farm_stats(self):
+        points = _points()
+        farm = CompileFarm(["sumrows"], sizes=SIZES, workers=1)
+        async with farm:
+            await (await farm.submit([("sumrows", p) for p in points])).gather()
+            metrics = farm.cache_metrics()
+            table = metrics["point_results"]
+            assert table["entries"] == len(points)
+            assert table["hits"] == 0
+            # Serial evaluation memoises through evaluate_point, which
+            # records one miss per computed point.
+            assert table["misses"] == len(points)
+            assert table["hit_rate"] == 0.0
+            assert table["evictions"] == 0
+
+            await (await farm.submit([("sumrows", p) for p in points])).gather()
+            warm = farm.cache_metrics()["point_results"]
+            assert warm["hits"] == len(points)
+            assert warm["misses"] == len(points)
+            assert warm["hit_rate"] == 0.5
+        # Shutdown refreshes the snapshot on the stats object itself.
+        assert farm.stats.cache["point_results"]["hits"] == len(points)
+
+    @pytest.mark.asyncio
+    async def test_as_dict_stays_flat_for_supervision_merge(self):
+        farm = CompileFarm(["sumrows"], sizes=SIZES, workers=1)
+        async with farm:
+            await (await farm.submit([("sumrows", _points()[0])])).gather()
+        flat = farm.stats.as_dict()
+        assert all(isinstance(value, int) for value in flat.values())
+        assert "cache" not in flat
