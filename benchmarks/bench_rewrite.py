@@ -20,7 +20,16 @@ Asserts that the rewriter **improves event-backend cycles on at least one
 benchmark** while never regressing any, and that every preservation
 invariant holds.  The record is appended to ``BENCH_rewrite.json``.
 
-Run with ``PYTHONPATH=src python benchmarks/bench_rewrite.py [--smoke]``.
+With ``--orderings`` the driver additionally sweeps *auto-generated pass
+orderings* (:mod:`repro.rewrite.orderings`): a fixed-seed guided sample
+plus the canonical schedule-rewrite orderings, each compiled as a
+self-describing ``auto:`` pipeline variant.  Per benchmark it records the
+best-discovered ordering's event-backend cycles against the ``default``
+and ``rewrite-profiled`` variants, and asserts that at least one
+benchmark's best ordering beats ``default``.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_rewrite.py
+[--smoke] [--orderings]``.
 """
 
 from __future__ import annotations
@@ -185,6 +194,88 @@ def run(benchmarks) -> dict:
     return record
 
 
+def _ordering_pool(smoke: bool):
+    """The ordering candidates: canonical rewrites plus a guided sample.
+
+    The guided sample is fixed-seed (7) — the pool is identical run to
+    run, so the recorded best ordering is comparable across history
+    entries.
+    """
+    from repro.rewrite import DEFAULT_ORDERING, guided_orderings, ordering_name
+
+    canonical = [
+        DEFAULT_ORDERING + ("rewrite-schedule",),
+        DEFAULT_ORDERING + ("rewrite-schedule-profiled",),
+        DEFAULT_ORDERING
+        + ("flatten-degenerate-groups", "coalesce-transfers", "rebalance-stages"),
+    ]
+    pool = list(canonical) + guided_orderings(seed=7, count=4 if smoke else 10)
+    seen = set()
+    names = []
+    for ordering in pool:
+        name = ordering_name(ordering)
+        if name not in seen:
+            seen.add(name)
+            names.append(name)
+    return names
+
+
+def run_orderings(benchmarks, smoke: bool) -> dict:
+    """Sweep auto-generated orderings; record best vs default/profiled."""
+    session = Session()
+    pool = _ordering_pool(smoke)
+    record: dict = {"pool_size": len(pool), "benchmarks": {}}
+    beat_default = []
+
+    header = f"{'benchmark':<10} {'default':>14} {'profiled':>14} {'best ordering':>14}"
+    print(header)
+    print("-" * len(header))
+
+    for bench in benchmarks:
+        bindings = bench.bindings(SIZES[bench.name], np.random.default_rng(3))
+        config = _meta_config(bench)
+        par = bench.par_factors.get("inner", 16)
+
+        def cycles_through(pipeline):
+            compiled = session.compile(
+                bench.build(), config, bindings, par=par, pipeline=pipeline
+            )
+            return EventScheduleBackend().run(compiled.schedule).cycles
+
+        default_cycles = cycles_through("default")
+        profiled_cycles = cycles_through("rewrite-profiled")
+        swept = {name: cycles_through(name) for name in pool}
+        best_name = min(swept, key=swept.get)
+        best_cycles = swept[best_name]
+        if best_cycles < default_cycles:
+            beat_default.append(bench.name)
+
+        print(
+            f"{bench.name:<10} {default_cycles:>14,.0f} {profiled_cycles:>14,.0f} "
+            f"{best_cycles:>14,.0f}  {best_name}"
+        )
+        record["benchmarks"][bench.name] = {
+            "event_cycles_default": default_cycles,
+            "event_cycles_rewrite_profiled": profiled_cycles,
+            "event_cycles_best_ordering": best_cycles,
+            "best_ordering": best_name,
+            "best_vs_default": round(best_cycles / default_cycles - 1.0, 6),
+            "best_vs_profiled": round(best_cycles / profiled_cycles - 1.0, 6),
+        }
+
+    assert beat_default, (
+        "no auto-generated ordering improved event cycles over the default "
+        "pipeline on any benchmark"
+    )
+    record["beat_default"] = beat_default
+    print(
+        f"[ordering bench] best ordering beat default on "
+        f"{len(beat_default)}/{len(record['benchmarks'])} benchmarks "
+        f"({', '.join(beat_default)}) from a pool of {len(pool)}"
+    )
+    return record
+
+
 def main(argv) -> int:
     smoke = "--smoke" in argv
     names = set(SMOKE_BENCHMARKS) if smoke else None
@@ -193,6 +284,8 @@ def main(argv) -> int:
     ]
     record = run(benchmarks)
     record["smoke"] = smoke
+    if "--orderings" in argv:
+        record["orderings"] = run_orderings(benchmarks, smoke)
 
     history = []
     if RESULT_PATH.exists():

@@ -94,7 +94,10 @@ _MISSING = object()
 #: :class:`~repro.sim.model.PerformanceModel` gained the
 #: ``dram_channels``/``dram_interleaving`` fields, changing ``astuple``
 #: layouts embedded in every point-result key.
-CACHE_VERSION = 7
+#: v8: pipeline variants are re-expressed as framework transformation
+#: orderings (:mod:`repro.rewrite`), changing every pass-sequence
+#: signature embedded in point-result keys.
+CACHE_VERSION = 8
 
 #: Header of a checksummed store: magic, then a 16-byte blake2b digest of
 #: the pickled payload, then the payload.  Stores written before the header

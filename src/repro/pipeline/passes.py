@@ -47,6 +47,7 @@ __all__ = [
     "PassContext",
     "PipelinePass",
     "FixedPointPass",
+    "TransformationStage",
     "FusionStage",
     "StripMineStage",
     "TileCopyStage",
@@ -138,6 +139,70 @@ class PipelinePass:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
+
+
+class TransformationStage(PipelinePass):
+    """Run one framework :class:`~repro.rewrite.framework.Transformation`.
+
+    The generic bridge between the declarative rewrite framework and the
+    pass pipeline: tiling gating, memoisation keys and schedule-artifact
+    plumbing are handled here once, uniformly, so a new transformation
+    only declares pattern/legality/apply/cost and becomes pipeline-able
+    (and thereby a DSE-sweepable ordering step) for free.
+
+    * **PPL transformations** behave exactly like the legacy transform
+      stages: gated on ``ctx.config.tiling`` when the transformation
+      ``requires_tiling``, memoised on ``(signature, gate, config_key)``,
+      side outputs round-tripped through the transformation's
+      ``payload``/``restore`` hooks.
+    * **Schedule transformations** behave like the legacy
+      ``rewrite-schedule`` stage: never memoised, applied to the schedule
+      deposited by ``build-schedule`` (replacing
+      ``ctx.artifacts["schedule"]``), with the framework's invariant
+      checker (:func:`repro.schedule.rewrite.verify_rewrite`) asserted by
+      ``apply_schedule`` and per-run details surfaced in the pass record.
+    """
+
+    budget_seconds = 0.100
+
+    def __init__(self, transformation, name: Optional[str] = None) -> None:
+        self.transformation = transformation
+        super().__init__(name or transformation.name)
+
+    def run(self, program: Program, ctx: PassContext) -> Program:
+        t = self.transformation
+        if t.ir == "ppl":
+            if t.requires_tiling and not ctx.config.tiling:
+                return program
+            return t.apply(program, ctx)
+        schedule = ctx.artifacts.get("schedule")
+        if schedule is None:
+            raise PipelineError(
+                f"{self.name} needs a schedule: run build-schedule earlier "
+                "in the pipeline"
+            )
+        rewritten, details = t.apply_schedule(schedule, ctx)
+        ctx.artifacts["schedule"] = rewritten
+        if details:
+            ctx.artifacts[PASS_DETAILS_KEY] = details
+        return program
+
+    def cache_key(self, ctx: PassContext) -> Optional[Hashable]:
+        t = self.transformation
+        if t.ir != "ppl":
+            return None  # workload-bound artifact, like the design itself
+        if t.requires_tiling and not ctx.config.tiling:
+            return (t.signature(), False)
+        return (t.signature(), True) + tuple(t.config_key(ctx))
+
+    def payload(self, program: Program, ctx: PassContext) -> object:
+        return self.transformation.payload(program, ctx)
+
+    def restore(self, payload: object, ctx: PassContext) -> Program:
+        return self.transformation.restore(payload, ctx)
+
+    def signature(self) -> Tuple[str, str]:
+        return (f"TransformationStage[{self.transformation.signature()}]", self.name)
 
 
 class FusionStage(PipelinePass):

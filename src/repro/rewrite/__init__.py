@@ -1,0 +1,80 @@
+"""repro.rewrite — the declarative pattern-matching transformation framework.
+
+One :class:`~repro.rewrite.framework.Transformation` protocol over both
+IRs (pattern → legality → apply → cost delta), the ported Section 4 and
+schedule rewrites, split strip-mining, and the legal-ordering search the
+DSE sweeps through the ``pipeline`` gene.  See the module docstrings of
+:mod:`repro.rewrite.framework` and :mod:`repro.rewrite.orderings`.
+"""
+
+from repro.rewrite.framework import (
+    CostDelta,
+    Match,
+    PplTransformation,
+    ScheduleTransformation,
+    ShapePattern,
+    Transformation,
+    TransformationError,
+    find_matches,
+    ir_size,
+)
+from repro.rewrite.orderings import (
+    AUTO_PREFIX,
+    DEFAULT_ORDERING,
+    STEPS,
+    enumerate_legal_orderings,
+    guided_orderings,
+    is_legal_ordering,
+    ordering_name,
+    parse_ordering_name,
+    pipeline_for_name,
+    pipeline_for_ordering,
+)
+from repro.rewrite.ppl import (
+    Interchange,
+    InvariantCodeMotion,
+    LetCse,
+    StripMine,
+    TileCopies,
+    VerticalFusion,
+)
+from repro.rewrite.schedule import (
+    CoalesceTransfers,
+    FlattenDegenerateGroups,
+    RebalanceStages,
+    ScheduleRewrite,
+)
+from repro.rewrite.splitting import SplitStripMining
+
+__all__ = [
+    "AUTO_PREFIX",
+    "CoalesceTransfers",
+    "CostDelta",
+    "DEFAULT_ORDERING",
+    "FlattenDegenerateGroups",
+    "Interchange",
+    "InvariantCodeMotion",
+    "LetCse",
+    "Match",
+    "PplTransformation",
+    "RebalanceStages",
+    "STEPS",
+    "ScheduleRewrite",
+    "ScheduleTransformation",
+    "ShapePattern",
+    "SplitStripMining",
+    "StripMine",
+    "TileCopies",
+    "Transformation",
+    "TransformationError",
+    "VerticalFusion",
+    "enumerate_legal_orderings",
+    "find_matches",
+    "guided_orderings",
+    "ir_size",
+    "is_legal_ordering",
+    "ordering_name",
+    "parse_ordering_name",
+    "pipeline_for_name",
+    "pipeline_for_ordering",
+]

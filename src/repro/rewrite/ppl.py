@@ -1,0 +1,224 @@
+"""The Section 4 transforms as declarative framework transformations.
+
+Each class wraps one proven pass of :mod:`repro.transforms` — vertical
+fusion, CSE, code motion, strip mining, tile-copy insertion, interchange —
+declaring its subgraph pattern and legality predicate so the ordering
+search (:mod:`repro.rewrite.orderings`) and the cost model can reason
+about *where* and *whether* it fires, while ``apply`` delegates to the
+original pass implementation so pipelines re-expressed through the
+framework stay bit-identical to the golden Figure 7 numbers.
+
+``requires_tiling`` mirrors the legacy stage gating exactly: fusion runs
+unconditionally (the paper assumes it pre-tiling *and* it is semantics
+preserving on the baseline), everything else only fires on tiled
+configurations — the untiled baseline program must reach hardware
+generation untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.dse.cache import config_signature
+from repro.ppl.ir import (
+    ArrayApply,
+    FlatMap,
+    GroupByFold,
+    Lambda,
+    Let,
+    Map,
+    MultiFold,
+    Pattern,
+)
+from repro.ppl.traversal import structurally_equal, walk
+from repro.rewrite.framework import Match, PplTransformation, ShapePattern
+from repro.transforms.code_motion import CodeMotion, _split_invariant_lets
+from repro.transforms.cse import CommonSubexpressionElimination, _LetCSE
+from repro.transforms.fusion import FusionPass, _sym_only_under_applies
+from repro.transforms.interchange import (
+    InterchangePass,
+    interchange_map_of_fold,
+    split_and_interchange,
+)
+from repro.transforms.strip_mining import StripMiningPass, TileCopyInsertionPass
+
+__all__ = [
+    "VerticalFusion",
+    "LetCse",
+    "InvariantCodeMotion",
+    "StripMine",
+    "TileCopies",
+    "Interchange",
+]
+
+
+class VerticalFusion(PplTransformation):
+    """Fuse a Let-bound Map producer into its sole element-wise consumer."""
+
+    name = "fusion"
+    requires_tiling = False
+
+    def pattern(self) -> ShapePattern:
+        return ShapePattern(
+            kinds=(Let,),
+            where=lambda node: isinstance(node.value, Map),
+            description="Let binding a Map producer",
+        )
+
+    def can_apply(self, program, match: Match, ctx) -> bool:
+        node: Let = match.node
+        if not _sym_only_under_applies(node.body, node.sym):
+            return False
+        reads = [
+            n
+            for n in walk(node.body)
+            if isinstance(n, ArrayApply) and n.array is node.sym
+        ]
+        if len(reads) > 1:
+            # Distinct index positions would duplicate the producer's work.
+            first = reads[0].indices
+            for other in reads[1:]:
+                if len(other.indices) != len(first) or not all(
+                    structurally_equal(a, b) for a, b in zip(first, other.indices)
+                ):
+                    return False
+        return True
+
+    def legacy_pass(self, ctx):
+        return FusionPass()
+
+
+class LetCse(PplTransformation):
+    """Drop duplicate and dead Let bindings (duplicate tile copies)."""
+
+    name = "cse"
+    requires_tiling = True
+
+    def pattern(self) -> ShapePattern:
+        return ShapePattern(kinds=(Let,), description="Let chain head")
+
+    def can_apply(self, program, match: Match, ctx) -> bool:
+        # The chain rewriter is its own cheapest oracle: a site is legal
+        # exactly when rewriting its chain changes something.
+        return _LetCSE().transform(match.node) is not match.node
+
+    def legacy_pass(self, ctx):
+        return CommonSubexpressionElimination()
+
+
+class InvariantCodeMotion(PplTransformation):
+    """Hoist pattern-invariant Lets (array tiles) out of pattern functions."""
+
+    name = "code-motion"
+    requires_tiling = True
+
+    def pattern(self) -> ShapePattern:
+        return ShapePattern(
+            kinds=(Map, MultiFold, FlatMap, GroupByFold),
+            description="pattern with Lambda functions",
+        )
+
+    def can_apply(self, program, match: Match, ctx) -> bool:
+        pattern: Pattern = match.node
+        for value in pattern.field_values().values():
+            if not isinstance(value, Lambda):
+                continue
+            hoisted, _ = _split_invariant_lets(value.body, set(value.params))
+            if hoisted:
+                return True
+        return False
+
+    def legacy_pass(self, ctx):
+        return CodeMotion()
+
+
+class StripMine(PplTransformation):
+    """Table 1: split tiled pattern domains into perfectly nested pairs."""
+
+    name = "strip-mine"
+    requires_tiling = True
+
+    def pattern(self) -> ShapePattern:
+        return ShapePattern(
+            kinds=(Map, MultiFold, FlatMap, GroupByFold),
+            where=lambda node: not node.domain.is_strided,
+            description="pattern over an unstrided domain",
+        )
+
+    def can_apply(self, program, match: Match, ctx) -> bool:
+        if not ctx.config.tiling or not ctx.config.tile_sizes:
+            return False
+        plans = StripMiningPass(ctx.config)._plan_axes(match.node.domain)
+        return any(plan.tiled for plan in plans)
+
+    def legacy_pass(self, ctx):
+        return StripMiningPass(ctx.config)
+
+    def config_key(self, ctx) -> Tuple:
+        return (config_signature(ctx.config),)
+
+
+class TileCopies(PplTransformation):
+    """Table 2: materialise affine accesses of strided patterns as tiles."""
+
+    name = "tile-copies"
+    requires_tiling = True
+
+    def pattern(self) -> ShapePattern:
+        return ShapePattern(
+            kinds=(Map, MultiFold, FlatMap, GroupByFold),
+            where=lambda node: node.domain.is_strided,
+            description="pattern over a strided domain",
+        )
+
+    def can_apply(self, program, match: Match, ctx) -> bool:
+        probe = TileCopyInsertionPass(ctx.config)
+        probe._input_arrays = set(program.inputs)
+        return probe._insert_copies(match.node, set()) is not match.node
+
+    def legacy_pass(self, ctx):
+        return TileCopyInsertionPass(ctx.config)
+
+    def config_key(self, ctx) -> Tuple:
+        return (config_signature(ctx.config),)
+
+
+class Interchange(PplTransformation):
+    """Table 3 / Figure 5: move strided folds out of unstrided patterns."""
+
+    name = "interchange"
+    requires_tiling = True
+
+    def pattern(self) -> ShapePattern:
+        return ShapePattern(
+            kinds=(Map, MultiFold),
+            where=lambda node: not node.domain.is_strided,
+            description="unstrided Map/MultiFold",
+        )
+
+    def can_apply(self, program, match: Match, ctx) -> bool:
+        node = match.node
+        if isinstance(node, Map) and interchange_map_of_fold(node) is not None:
+            match.payload["rule"] = "rule1"
+            return True
+        if split_and_interchange(node, ctx.config.split_budget) is not None:
+            match.payload["rule"] = "split"
+            return True
+        return False
+
+    def apply(self, program, ctx):
+        interchange = InterchangePass(ctx.config)
+        result = interchange.run(program)
+        ctx.artifacts["applied_interchanges"] = list(getattr(interchange, "applied", []))
+        return result
+
+    def config_key(self, ctx) -> Tuple:
+        return (config_signature(ctx.config),)
+
+    def payload(self, program, ctx) -> object:
+        return (program, tuple(ctx.artifacts.get("applied_interchanges", ())))
+
+    def restore(self, payload: object, ctx):
+        program, applied = payload
+        ctx.artifacts["applied_interchanges"] = list(applied)
+        return program

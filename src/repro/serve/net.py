@@ -16,6 +16,10 @@ connection):
   [...]}`` carrying the submission order (what
   :func:`~repro.serve.protocol.gather` needs to restore it client-side).
 * ``{"op": "stats"}`` → ``{"op": "stats", "stats": {...}}``.
+* ``{"op": "cache-metrics"}`` → ``{"op": "cache-metrics", "cache":
+  {table: {entries, evictions, hits, misses, hit_rate}, ...}}`` — a fresh
+  per-table snapshot of the server's analysis cache
+  (:meth:`~repro.serve.farm.CompileFarm.cache_metrics`).
 * ``{"op": "ping"}`` → ``{"op": "pong"}``.
 
 A malformed frame closes the connection; the farm itself is unaffected.
@@ -121,6 +125,11 @@ class FarmServer:
                     await write_frame(
                         writer, {"op": "stats", "stats": self.farm.stats.as_dict()}
                     )
+                elif op == "cache-metrics":
+                    await write_frame(
+                        writer,
+                        {"op": "cache-metrics", "cache": self.farm.cache_metrics()},
+                    )
                 elif op == "submit":
                     await self._serve_batch(writer, message.get("requests") or [])
                 else:
@@ -190,6 +199,15 @@ class RemoteClient:
         reply = await read_frame(self._reader)
         self._expect(reply, "stats")
         return reply["stats"]
+
+    async def cache_metrics(self) -> dict:
+        """Per-table analysis-cache counters of the remote farm, refreshed
+        server-side at call time (entries, evictions, hits, misses,
+        hit_rate per table)."""
+        await write_frame(self._writer, {"op": "cache-metrics"})
+        reply = await read_frame(self._reader)
+        self._expect(reply, "cache-metrics")
+        return reply["cache"]
 
     async def stream(
         self, requests: Sequence[CompileRequest]

@@ -120,6 +120,7 @@ class TestVariants:
             register_pipeline_variant(
                 "test-strip-only",
                 lambda: Pipeline([FusionStage()], name="test-strip-only"),
+                replace=True,
             )
             assert variant_signature("test-strip-only") == (("FusionStage", "fusion"),)
         finally:
@@ -127,6 +128,32 @@ class TestVariants:
 
             variants._VARIANTS.pop("test-strip-only", None)
             variants._SIGNATURES.pop("test-strip-only", None)
+
+    def test_duplicate_registration_is_rejected(self):
+        register_pipeline_variant(
+            "test-dup", lambda: Pipeline([StripMineStage()], name="test-dup")
+        )
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_pipeline_variant(
+                    "test-dup", lambda: Pipeline([FusionStage()], name="test-dup")
+                )
+            # Shipped names are protected too.
+            with pytest.raises(ValueError, match="already registered"):
+                register_pipeline_variant(
+                    "default", lambda: Pipeline([FusionStage()], name="default")
+                )
+        finally:
+            from repro.pipeline import variants
+
+            variants._VARIANTS.pop("test-dup", None)
+            variants._SIGNATURES.pop("test-dup", None)
+
+    def test_auto_prefix_is_reserved(self):
+        with pytest.raises(ValueError, match="reserved"):
+            register_pipeline_variant(
+                "auto:fusion", lambda: Pipeline([FusionStage()], name="auto:fusion")
+            )
 
 
 class TestInstrumentation:

@@ -58,6 +58,28 @@ async def test_remote_duplicates_dedupe_on_the_server():
 
 
 @pytest.mark.asyncio
+async def test_remote_cache_metrics_snapshot_per_table():
+    points = _points((1, 2))
+    farm = CompileFarm(["sumrows"], sizes=SIZES, workers=1)
+    async with farm:
+        async with FarmServer(farm) as server:
+            host, port = server.address
+            async with await RemoteClient.connect(host, port) as client:
+                await client.gather([CompileRequest("sumrows", p) for p in points])
+                cache = await client.cache_metrics()
+    # A per-table snapshot with derived hit rates; evaluating through the
+    # farm populates at least the point-results table.
+    assert cache and all(isinstance(table, dict) for table in cache.values())
+    for table in cache.values():
+        assert {"entries", "evictions", "hits", "misses", "hit_rate"} <= set(table)
+        assert 0.0 <= table["hit_rate"] <= 1.0
+    assert "point_results" in cache
+    assert cache["point_results"]["entries"] >= len(points)
+    # The snapshot also lands on the farm's own stats object.
+    assert farm.stats.cache == cache
+
+
+@pytest.mark.asyncio
 async def test_remote_stream_yields_in_completion_order():
     points = _points()
     farm = CompileFarm(["sumrows"], sizes=SIZES, workers=1)
